@@ -1,0 +1,53 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the artifact (numeric table, grayscale matrix, bar chart, or
+spectrum) to ``benchmarks/output/`` so the regenerated figures survive
+pytest's output capture.  Campaigns are memoized per (machine,
+distance) so that e.g. Figures 9, 10, and 11 — three views of one
+measurement campaign — share a single run, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.matrix import SavatMatrix
+from repro.machines.calibrated import load_calibrated_machine
+
+#: Repetitions per cell for benchmark campaigns.  The paper used 10;
+#: two keeps the full harness under ~15 minutes while still exercising
+#: the repeatability statistics.
+BENCHMARK_REPETITIONS = 2
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+_CAMPAIGNS: dict[tuple[str, float], SavatMatrix] = {}
+
+
+def get_campaign(machine_name: str, distance_m: float) -> SavatMatrix:
+    """Run (or reuse) the full 11x11 campaign for a machine/distance."""
+    key = (machine_name, round(distance_m, 4))
+    if key not in _CAMPAIGNS:
+        machine = load_calibrated_machine(machine_name, distance_m)
+        _CAMPAIGNS[key] = run_campaign(
+            machine, repetitions=BENCHMARK_REPETITIONS, seed=2014
+        )
+    return _CAMPAIGNS[key]
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    """Persist a regenerated figure under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def core2duo_10cm():
+    """Calibrated Core 2 Duo at 10 cm (shared across benchmarks)."""
+    return load_calibrated_machine("core2duo", 0.10)

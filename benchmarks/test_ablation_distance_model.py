@@ -1,0 +1,53 @@
+"""Ablation: power-law distance interpolation vs naive linear blending.
+
+Unpublished distances are calibrated against matrices interpolated with
+the near/far-field power-law model (``repro.em.propagation``).  This
+ablation holds out the published 50 cm matrix, predicts it from the
+10 cm and 100 cm anchors with (a) the power-law model and (b) linear
+interpolation in distance, and compares the residuals: EM signals fall
+off on steep power laws, so linear blending badly overshoots at
+intermediate range.
+"""
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.em.propagation import interpolate_matrix
+from repro.machines.reference_data import (
+    CORE2DUO_10CM,
+    CORE2DUO_50CM,
+    CORE2DUO_100CM,
+)
+
+FLOOR_ZJ = 0.6
+
+
+def _holdout_errors() -> tuple[float, float]:
+    anchors = [CORE2DUO_10CM.values_zj, CORE2DUO_100CM.values_zj]
+    truth = CORE2DUO_50CM.values_zj
+    power_law = interpolate_matrix([0.10, 1.00], anchors, 0.50, floor=FLOOR_ZJ)
+    weight = (0.50 - 0.10) / (1.00 - 0.10)
+    linear = (1 - weight) * anchors[0] + weight * anchors[1]
+    mask = ~np.eye(11, dtype=bool)
+    return (
+        float(np.abs(power_law - truth)[mask].mean()),
+        float(np.abs(linear - truth)[mask].mean()),
+    )
+
+
+def test_ablation_distance_model(benchmark):
+    power_law_error, linear_error = benchmark(_holdout_errors)
+    text = "\n".join(
+        [
+            "Ablation: predicting the held-out 50 cm matrix from 10 cm + 100 cm",
+            "",
+            f"near/far power-law interpolation, mean |error|: {power_law_error:7.3f} zJ",
+            f"linear-in-distance interpolation, mean |error|: {linear_error:7.3f} zJ",
+            f"improvement: {linear_error / power_law_error:.1f}x",
+        ]
+    )
+    path = write_artifact("ablation_distance_model.txt", text)
+    print(f"\n{text}\n-> {path}")
+
+    assert power_law_error < 0.35
+    assert power_law_error < 0.25 * linear_error

@@ -1,0 +1,20 @@
+"""Figure 5: the eleven instructions/events of the case study."""
+
+from conftest import write_artifact
+
+from repro.isa.events import PAPER_EVENTS
+
+
+def _build_table() -> str:
+    lines = [f"{'Event':<6} {'x86 instruction':<24} Description"]
+    for event in PAPER_EVENTS:
+        lines.append(f"{event.name:<6} {event.x86_text:<24} {event.description}")
+    return "\n".join(lines)
+
+
+def test_fig05_instruction_table(benchmark):
+    table = benchmark(_build_table)
+    path = write_artifact("fig05_instruction_table.txt", table)
+    print(f"\n{table}\n-> {path}")
+    assert "LDM" in table and "idiv eax" in table
+    assert len(table.splitlines()) == 12  # header + 11 events

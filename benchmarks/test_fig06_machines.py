@@ -1,0 +1,27 @@
+"""Figure 6: the three laptop systems measured in the case study."""
+
+from conftest import write_artifact
+
+from repro.machines.catalog import MACHINES
+
+
+def _build_table() -> str:
+    lines = [f"{'Processor':<20} {'L1 Data Cache':<16} L2 Cache"]
+    for spec in MACHINES.values():
+        l1 = spec.l1_geometry
+        l2 = spec.l2_geometry
+        lines.append(
+            f"{spec.display_name:<20} "
+            f"{l1.size_bytes // 1024} KB, {l1.ways} way{'':<6} "
+            f"{l2.size_bytes // 1024} KB, {l2.ways} way"
+        )
+    return "\n".join(lines)
+
+
+def test_fig06_machine_table(benchmark):
+    table = benchmark(_build_table)
+    path = write_artifact("fig06_machines.txt", table)
+    print(f"\n{table}\n-> {path}")
+    assert "Intel Core 2 Duo" in table
+    assert "4096 KB, 16 way" in table
+    assert "AMD Turion X2" in table

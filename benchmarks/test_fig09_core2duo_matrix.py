@@ -1,0 +1,36 @@
+"""Figure 9: the full 11x11 pairwise SAVAT matrix, Core 2 Duo at 10 cm.
+
+The headline result.  Runs the complete measurement campaign through the
+full pipeline and compares against the published matrix: shape agreement
+(who is distinguishable from whom, by roughly what factor), the
+diagonal-minimality validity check, and the ~5% repeatability the paper
+reports.
+"""
+
+from conftest import get_campaign, write_artifact
+
+from repro.analysis.report import experiment_report
+from repro.machines.reference_data import CORE2DUO_10CM
+
+
+def test_fig09_core2duo_matrix(benchmark):
+    campaign = benchmark.pedantic(
+        get_campaign, args=("core2duo", 0.10), rounds=1, iterations=1
+    )
+    report = experiment_report(campaign, CORE2DUO_10CM)
+    path = write_artifact("fig09_core2duo_matrix.txt", report)
+    print(f"\n{report}\n-> {path}")
+
+    stats = campaign.shape_agreement(CORE2DUO_10CM.values_zj)
+    assert stats["spearman"] > 0.85
+    assert stats["pearson"] > 0.80
+    assert stats["mean_relative_error"] < 0.35
+
+    # Validity: diagonal (A/A) entries are the smallest in their rows
+    # and columns (with the paper's tolerance for near-ties).
+    rows, columns = campaign.diagonal_minimality(tolerance_zj=0.3)
+    assert rows >= 10
+    assert columns >= 10
+
+    # Repeatability: std/mean around the paper's 0.05.
+    assert 0.01 < campaign.std_over_mean() < 0.10

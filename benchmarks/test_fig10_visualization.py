@@ -1,0 +1,32 @@
+"""Figure 10: grayscale visualization of the Figure 9 matrix."""
+
+import numpy as np
+from conftest import get_campaign, write_artifact
+
+from repro.analysis.visualize import grayscale_matrix
+
+
+def test_fig10_visualization(benchmark):
+    campaign = get_campaign("core2duo", 0.10)
+    chart = benchmark(
+        grayscale_matrix,
+        campaign.mean(),
+        campaign.events,
+        "Figure 10: SAVAT visualization, Core 2 Duo at 10 cm",
+    )
+    path = write_artifact("fig10_visualization.txt", chart)
+    print(f"\n{chart}\n-> {path}")
+
+    lines = chart.splitlines()
+    assert len(lines) == 1 + 1 + 11 + 1  # title + header + rows + legend
+
+    # The off-chip/L2 block is dark, the arithmetic block light.
+    from repro.analysis.visualize import SHADE_RAMP
+
+    darkest = SHADE_RAMP[-1]
+    assert darkest in chart  # somebody reaches full black
+    mean = campaign.mean()
+    arith = [campaign.index(name) for name in ("NOI", "ADD", "SUB", "MUL")]
+    arith_block_max = mean[np.ix_(arith, arith)].max()
+    offchip_rows_max = mean[[campaign.index("LDM"), campaign.index("STM")], 2:].max()
+    assert offchip_rows_max > 3 * arith_block_max

@@ -1,0 +1,34 @@
+"""Figures 12/13: SAVAT matrix and selected pairings, Pentium 3 M at 10 cm.
+
+The paper's cross-generation comparison: on this older processor the
+DIV instruction is an order of magnitude easier to distinguish from
+other arithmetic, and off-chip accesses dominate L2 accesses.
+"""
+
+from conftest import get_campaign, write_artifact
+
+from repro.analysis.report import experiment_report
+from repro.analysis.visualize import bar_chart
+from repro.core.campaign import selected_pairings_means
+from repro.machines.reference_data import PENTIUM3M_10CM, SELECTED_PAIRINGS
+
+
+def test_fig12_pentium3m_matrix(benchmark):
+    campaign = benchmark.pedantic(
+        get_campaign, args=("pentium3m", 0.10), rounds=1, iterations=1
+    )
+    report = experiment_report(campaign, PENTIUM3M_10CM)
+    rows = selected_pairings_means(campaign, SELECTED_PAIRINGS)
+    chart = bar_chart(rows, title="Figure 13: selected pairings, Pentium 3 M 10 cm")
+    path = write_artifact("fig12_fig13_pentium3m.txt", report + "\n\n" + chart)
+    print(f"\n{report}\n\n{chart}\n-> {path}")
+
+    stats = campaign.shape_agreement(PENTIUM3M_10CM.symmetrized())
+    assert stats["spearman"] > 0.75
+
+    # "the ADD/DIV SAVAT is an order of magnitude higher than ADD/MUL"
+    assert campaign.cell("ADD", "DIV") > 4 * campaign.cell("ADD", "MUL")
+    # "off-chip accesses here have much higher SAVAT values than do L2"
+    assert campaign.cell("LDM", "ADD") > 2 * campaign.cell("LDL2", "ADD")
+    # "LDM has higher SAVAT values than STM"
+    assert campaign.cell("LDM", "ADD") > campaign.cell("STM", "ADD")

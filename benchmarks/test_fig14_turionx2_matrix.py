@@ -1,0 +1,40 @@
+"""Figures 14/15: SAVAT matrix and selected pairings, Turion X2 at 10 cm.
+
+The cross-vendor comparison: similar structure to the Pentium 3 M, but
+the DIV instruction's SAVAT is even higher — it rivals off-chip memory
+accesses.
+"""
+
+import numpy as np
+from conftest import get_campaign, write_artifact
+
+from repro.analysis.report import experiment_report
+from repro.analysis.visualize import bar_chart
+from repro.core.campaign import selected_pairings_means
+from repro.machines.reference_data import SELECTED_PAIRINGS, TURIONX2_10CM
+
+
+def test_fig14_turionx2_matrix(benchmark):
+    campaign = benchmark.pedantic(
+        get_campaign, args=("turionx2", 0.10), rounds=1, iterations=1
+    )
+    report = experiment_report(campaign, TURIONX2_10CM)
+    rows = selected_pairings_means(campaign, SELECTED_PAIRINGS)
+    chart = bar_chart(rows, title="Figure 15: selected pairings, Turion X2 10 cm")
+    path = write_artifact("fig14_fig15_turionx2.txt", report + "\n\n" + chart)
+    print(f"\n{report}\n\n{chart}\n-> {path}")
+
+    stats = campaign.shape_agreement(TURIONX2_10CM.symmetrized())
+    assert stats["spearman"] > 0.7
+
+    # "the DIV instruction here has even higher SAVAT values — they
+    # rival those of off-chip memory accesses."
+    div_vs_arith = np.mean(
+        [campaign.cell("DIV", name) for name in ("NOI", "ADD", "SUB", "MUL")]
+    )
+    offchip_vs_arith = np.mean(
+        [campaign.cell("LDM", name) for name in ("NOI", "ADD", "SUB", "MUL")]
+    )
+    assert div_vs_arith > 0.4 * offchip_vs_arith
+    # And DIV towers over the other arithmetic pairings.
+    assert campaign.cell("ADD", "DIV") > 4 * campaign.cell("ADD", "MUL")

@@ -1,0 +1,49 @@
+"""Figure 16: selected pairings measured at 50 cm and 100 cm.
+
+The distance study's headline chart: SAVAT drops sharply from 10 cm but
+little between 50 cm and 100 cm, and at range the pairings that include
+off-chip activity dominate while DIV's advantage over other arithmetic
+nearly vanishes.
+"""
+
+from conftest import get_campaign, write_artifact
+
+from repro.analysis.visualize import bar_chart
+from repro.core.campaign import selected_pairings_means
+from repro.machines.reference_data import SELECTED_PAIRINGS
+
+
+def _both_campaigns():
+    return get_campaign("core2duo", 0.50), get_campaign("core2duo", 1.00)
+
+
+def test_fig16_distance_bars(benchmark):
+    campaign_50, campaign_100 = benchmark.pedantic(
+        _both_campaigns, rounds=1, iterations=1
+    )
+    rows_50 = selected_pairings_means(campaign_50, SELECTED_PAIRINGS)
+    rows_100 = selected_pairings_means(campaign_100, SELECTED_PAIRINGS)
+    chart = (
+        bar_chart(rows_50, title="Figure 16 (50 cm): selected pairings")
+        + "\n\n"
+        + bar_chart(rows_100, title="Figure 16 (100 cm): selected pairings")
+    )
+    path = write_artifact("fig16_distance_bars.txt", chart)
+    print(f"\n{chart}\n-> {path}")
+
+    near = get_campaign("core2duo", 0.10)
+    # Sharp drop from 10 cm ...
+    assert campaign_50.cell("ADD", "LDM") < 0.7 * near.cell("ADD", "LDM")
+    # ... but little change from 50 cm to 100 cm.
+    assert campaign_100.cell("ADD", "LDM") > 0.6 * campaign_50.cell("ADD", "LDM")
+
+    # Off-chip pairings now dominate on-chip ones.
+    for campaign in (campaign_50, campaign_100):
+        assert campaign.cell("ADD", "LDM") > campaign.cell("ADD", "LDL2")
+        assert campaign.cell("STL2", "STM") > campaign.cell("STL1", "STL2")
+
+    # DIV's advantage over other arithmetic is now very small.
+    div_ratio_far = campaign_100.cell("ADD", "DIV") / campaign_100.cell("ADD", "MUL")
+    div_ratio_near = near.cell("ADD", "DIV") / near.cell("ADD", "MUL")
+    assert div_ratio_far < div_ratio_near
+    assert div_ratio_far < 1.6

@@ -1,0 +1,29 @@
+"""Figure 17: the full matrix at 50 cm (Core 2 Duo)."""
+
+from conftest import get_campaign, write_artifact
+
+from repro.analysis.report import experiment_report
+from repro.analysis.visualize import grayscale_matrix
+from repro.machines.reference_data import CORE2DUO_50CM
+
+
+def test_fig17_matrix_50cm(benchmark):
+    campaign = benchmark.pedantic(
+        get_campaign, args=("core2duo", 0.50), rounds=1, iterations=1
+    )
+    report = experiment_report(campaign, CORE2DUO_50CM)
+    chart = grayscale_matrix(
+        campaign.mean(), campaign.events, "Figure 17: SAVAT at 50 cm"
+    )
+    path = write_artifact("fig17_matrix_50cm.txt", report + "\n\n" + chart)
+    print(f"\n{report}\n\n{chart}\n-> {path}")
+
+    stats = campaign.shape_agreement(CORE2DUO_50CM.values_zj)
+    assert stats["spearman"] > 0.6
+    assert stats["mean_relative_error"] < 0.4
+
+    # Off-chip rows (LDM/STM) are the dark rows now.
+    mean = campaign.mean()
+    offchip_mean = mean[:2, 2:].mean()
+    onchip_block = mean[2:, 2:]
+    assert offchip_mean > onchip_block.mean()

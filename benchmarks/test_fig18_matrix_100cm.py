@@ -1,0 +1,35 @@
+"""Figure 18: the full matrix at 100 cm (Core 2 Duo)."""
+
+from conftest import get_campaign, write_artifact
+
+from repro.analysis.report import experiment_report
+from repro.analysis.visualize import grayscale_matrix
+from repro.machines.reference_data import CORE2DUO_100CM
+
+
+def test_fig18_matrix_100cm(benchmark):
+    campaign = benchmark.pedantic(
+        get_campaign, args=("core2duo", 1.00), rounds=1, iterations=1
+    )
+    report = experiment_report(campaign, CORE2DUO_100CM)
+    chart = grayscale_matrix(
+        campaign.mean(), campaign.events, "Figure 18: SAVAT at 100 cm"
+    )
+    path = write_artifact("fig18_matrix_100cm.txt", report + "\n\n" + chart)
+    print(f"\n{report}\n\n{chart}\n-> {path}")
+
+    stats = campaign.shape_agreement(CORE2DUO_100CM.values_zj)
+    assert stats["spearman"] > 0.6
+    assert stats["mean_relative_error"] < 0.4
+
+    # "off-chip memory accesses are now (by far) the most
+    # attacker-distinguishable type of instruction/event"
+    mean = campaign.mean()
+    for row in range(2):  # LDM, STM rows
+        assert mean[row, 2:].min() > mean[4:, 4:].mean()
+
+    # L2 pairings collapsed much more than off-chip ones relative to 10 cm.
+    near = get_campaign("core2duo", 0.10)
+    l2_drop = campaign.cell("ADD", "LDL2") / near.cell("ADD", "LDL2")
+    offchip_drop = campaign.cell("ADD", "LDM") / near.cell("ADD", "LDM")
+    assert l2_drop < offchip_drop

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure 9/10: the full 11x11 Core 2 Duo matrix.
+
+Runs the complete pairwise campaign (all 121 ordered pairings, several
+repetitions each) on the simulated Core 2 Duo at 10 cm, prints the
+numeric table (Figure 9), the grayscale visualization (Figure 10), the
+selected-pairings bar chart (Figure 11), and the paper-vs-measured shape
+statistics.
+
+Run:  python examples/full_campaign.py [--repetitions N] [--machine NAME]
+Takes a few minutes for the full matrix.
+"""
+
+import argparse
+
+from repro import load_calibrated_machine, run_campaign, selected_pairings_means
+from repro.analysis import (
+    bar_chart,
+    claims_summary,
+    core2duo_claims,
+    experiment_report,
+    grayscale_matrix,
+)
+from repro.machines import SELECTED_PAIRINGS, get_reference
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--machine", default="core2duo", help="catalog machine name")
+    parser.add_argument("--repetitions", type=int, default=3, help="repetitions per cell")
+    parser.add_argument("--seed", type=int, default=2014)
+    args = parser.parse_args()
+
+    machine = load_calibrated_machine(args.machine, distance_m=0.10)
+    print(f"Measuring the full pairwise matrix on {machine.describe()} ...")
+
+    def progress(event_a: str, event_b: str, done: int, total: int) -> None:
+        print(f"\r  [{done:3d}/{total}] {event_a}/{event_b}        ", end="", flush=True)
+
+    campaign = run_campaign(
+        machine, repetitions=args.repetitions, seed=args.seed, progress=progress
+    )
+    print("\n")
+
+    reference = get_reference(args.machine, 0.10)
+    print(experiment_report(campaign, reference))
+    print()
+    print(grayscale_matrix(campaign.mean(), campaign.events, "Figure 10 (measured):"))
+    print()
+    rows = selected_pairings_means(campaign, SELECTED_PAIRINGS)
+    print(bar_chart(rows, title="Figure 11 (measured, selected pairings):"))
+    if args.machine == "core2duo":
+        print()
+        print(claims_summary(core2duo_claims(campaign)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Future-work demo: cluster instructions using SAVAT as the distance.
+
+Section VII: measuring all O(N^2) pairings does not scale to a real ISA;
+the paper proposes clustering opcodes by SAVAT and exploring sequences
+with class representatives.  This example measures a campaign, clusters
+it, and shows the measurement-count saving.
+
+Run:  python examples/instruction_clustering.py
+"""
+
+from repro import find_groups, load_calibrated_machine, run_campaign
+from repro.core.clustering import group_representatives, similarity_graph
+from repro.core.single_instruction import most_leaky_instructions
+
+
+def main() -> None:
+    machine = load_calibrated_machine("core2duo", distance_m=0.10)
+    print(f"Running the pairwise campaign on {machine.describe()} ...")
+    campaign = run_campaign(machine, repetitions=2, seed=42)
+
+    groups = find_groups(campaign, num_groups=4)
+    print()
+    print("SAVAT clusters (paper Section V-A groups):")
+    for group in groups:
+        print("  {" + ", ".join(sorted(group)) + "}")
+
+    representatives = group_representatives(groups)
+    full = len(campaign.events) ** 2
+    reduced = len(representatives) ** 2
+    print()
+    print(f"Representatives: {', '.join(representatives)}")
+    print(
+        f"Pairwise measurements needed: {full} -> {reduced} "
+        f"({full / reduced:.0f}x fewer)"
+    )
+
+    graph = similarity_graph(campaign)
+    print()
+    print("Hard-to-distinguish event pairs (similarity graph edges):")
+    for event_a, event_b, data in sorted(graph.edges(data=True)):
+        print(f"  {event_a:>4} -- {event_b:<4}  {data['savat_zj']:.2f} zJ")
+
+    print()
+    print("Single-instruction SAVAT ranking (max over same-instruction pairs):")
+    for label, value in most_leaky_instructions(campaign):
+        print(f"  {value:6.2f} zJ  {label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The Section III attack model, end to end: EM key extraction.
+
+A victim runs square-and-multiply modular exponentiation where 1-bits
+execute an extra multiply block (with a table fetch — the data-dependent
+memory access the paper warns about).  An attacker profiles block
+templates on an identical machine, captures the victim's EM emanations,
+and decodes the key — at several antenna distances, showing that attack
+success tracks exactly the signal SAVAT quantifies.
+
+Run:  python examples/rsa_attack_demo.py
+"""
+
+import numpy as np
+
+from repro import load_calibrated_machine
+from repro.attacks import profile_templates, run_attack
+
+KEY_BITS = [1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 1, 0, 1]
+DISTANCES_M = (0.10, 0.50, 1.00)
+TRIALS = 5
+
+
+def main() -> None:
+    key_text = "".join(str(bit) for bit in KEY_BITS)
+    print(f"Victim secret key: {key_text} ({len(KEY_BITS)} bits)")
+    print()
+    print(f"{'distance':>10} {'template sep.':>15} {'bit accuracy':>14} {'exact keys':>12}")
+    for distance in DISTANCES_M:
+        machine = load_calibrated_machine("core2duo", distance_m=distance)
+        templates = profile_templates(machine, block_work=8)
+        results = [
+            run_attack(machine, KEY_BITS, seed=seed, block_work=8)
+            for seed in range(TRIALS)
+        ]
+        accuracy = float(np.mean([result.accuracy for result in results]))
+        exact = sum(1 for result in results if result.exact)
+        print(
+            f"{distance * 100:>8.0f}cm {templates.head_separation:>15.2e} "
+            f"{accuracy:>13.0%} {exact:>9d}/{TRIALS}"
+        )
+    print()
+    print("At 10 cm the multiply block's table fetch (an off-chip access,")
+    print("the highest-SAVAT event) separates the templates far above the")
+    print("receiver noise and the key falls out; at 1 m the same attack is")
+    print("coin-flipping — the defender's mitigation budget should go where")
+    print("SAVAT says the signal is.")
+
+
+if __name__ == "__main__":
+    main()

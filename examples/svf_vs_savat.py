@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Contrast SAVAT with the prior-art SVF metric (Sections I and VI).
+
+SVF (Demme et al.) correlates the side-channel signal with high-level
+execution phases: it says *whether* a program leaks, but not *which
+instructions* do.  This demo computes both metrics for the modular-
+exponentiation victim:
+
+* SVF reports high leakage (the signal tracks the square/multiply phase
+  pattern) — one number for the whole system;
+* SAVAT decomposes the leak: the multiply block's table loads (off-chip
+  accesses) dominate, the register arithmetic is nearly silent — which
+  is exactly the actionable guidance the paper argues architects and
+  programmers need.
+
+Run:  python examples/svf_vs_savat.py
+"""
+
+import numpy as np
+
+from repro import load_calibrated_machine, measure_savat
+from repro.attacks import simulate_victim
+from repro.baselines import compute_svf
+
+KEY_BITS = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1]
+
+
+def main() -> None:
+    machine = load_calibrated_machine("core2duo", distance_m=0.10)
+    execution = simulate_victim(machine, KEY_BITS, block_work=8)
+
+    # SVF: correlate the victim's true activity pattern with what the
+    # attacker's antenna sees.
+    oracle = execution.trace.data  # ground-truth per-component activity
+    observed = machine.coupling.project_trace(execution.trace)
+    rng = np.random.default_rng(1)
+    noise = rng.normal(0.0, np.abs(observed).mean() * 0.1, size=observed.shape)
+    result = compute_svf(oracle, observed + noise, num_windows=48)
+    print(f"SVF of the modexp victim at 10 cm: {result.svf:.3f}")
+    print("  -> 'this system leaks its phase structure', and nothing more.")
+    print()
+
+    # SAVAT: attribute the leak to instruction-level events.
+    print("SAVAT decomposition of the same leak (zJ):")
+    for event_a, event_b, why in (
+        ("LDM", "NOI", "the multiply block's table fetch vs nothing"),
+        ("MUL", "NOI", "the multiply arithmetic vs nothing"),
+        ("DIV", "NOI", "the modular reduction vs nothing"),
+        ("ADD", "NOI", "plain bookkeeping vs nothing"),
+    ):
+        value = measure_savat(machine, event_a, event_b).savat_zj
+        print(f"  {event_a:>4}/{event_b}: {value:6.2f}   ({why})")
+    print()
+    print("The table fetch is the leak; masking the multiplier arithmetic")
+    print("would buy nothing. That attribution is what SVF cannot provide.")
+
+
+if __name__ == "__main__":
+    main()

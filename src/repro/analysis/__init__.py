@@ -1,0 +1,53 @@
+"""Analysis and reporting: visualizations, statistics, claim checks."""
+
+from repro.analysis.code_audit import (
+    BranchRisk,
+    MEMORY_ASSUMPTIONS,
+    audit_program,
+    audit_report,
+    instruction_event,
+)
+from repro.analysis.report import (
+    ClaimCheck,
+    claims_summary,
+    core2duo_claims,
+    distance_claims,
+    experiment_report,
+)
+from repro.analysis.stats import (
+    crossover_distance,
+    group_means,
+    matrix_correlations,
+    offdiagonal,
+)
+from repro.analysis.visualize import (
+    SHADE_RAMP,
+    bar_chart,
+    grayscale_matrix,
+    matrix_table,
+    shade,
+    spectrum_plot,
+)
+
+__all__ = [
+    "BranchRisk",
+    "ClaimCheck",
+    "MEMORY_ASSUMPTIONS",
+    "audit_program",
+    "audit_report",
+    "instruction_event",
+    "SHADE_RAMP",
+    "bar_chart",
+    "claims_summary",
+    "core2duo_claims",
+    "crossover_distance",
+    "distance_claims",
+    "experiment_report",
+    "grayscale_matrix",
+    "group_means",
+    "matrix_correlations",
+    "matrix_table",
+    "offdiagonal",
+    "shade",
+    "spectrum_plot",
+]

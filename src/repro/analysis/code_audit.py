@@ -1,0 +1,202 @@
+"""Static leak audit: rank a program's data-dependent branches by SAVAT.
+
+The paper's guidance for programmers: "in code that processes sensitive
+data, special care should be taken to avoid situations where a memory
+access instruction might have an L2 hit or miss depending on the value
+of some sensitive data item ... the most worrisome situation ... would
+be one where a DIV instruction is executed or not depending on sensitive
+data."  This module turns that advice into a tool: given a program and a
+measured SAVAT matrix, it walks every conditional branch, extracts the
+two successor paths, maps their instructions to Figure-5 events (with a
+configurable worst-case assumption for memory accesses), and scores each
+branch with the additive sequence-SAVAT estimate.
+
+The result is the prioritized to-fix list the introduction promises:
+"programmers [can] change their code to avoid creating high-SAVAT
+instruction-level differences that depend on secret information."
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+from repro.core.matrix import SavatMatrix
+from repro.core.sequences import estimate_sequence_savat
+from repro.errors import ConfigurationError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+#: Default opcode-to-event mapping.  Memory accesses assume the worst
+#: case (off-chip) because a static tool cannot know the cache level;
+#: pass ``memory_assumption="L1"``-style overrides to refine.
+_BASE_EVENT_MAP: dict[Opcode, str] = {
+    Opcode.MOV: "ADD",
+    Opcode.CMOVZ: "ADD",
+    Opcode.CMOVNZ: "ADD",
+    Opcode.ADD: "ADD",
+    Opcode.SUB: "SUB",
+    Opcode.AND: "ADD",
+    Opcode.OR: "ADD",
+    Opcode.XOR: "ADD",
+    Opcode.SHL: "ADD",
+    Opcode.SHR: "ADD",
+    Opcode.INC: "ADD",
+    Opcode.DEC: "ADD",
+    Opcode.CMP: "ADD",
+    Opcode.TEST: "ADD",
+    Opcode.LEA: "ADD",
+    Opcode.IMUL: "MUL",
+    Opcode.IDIV: "DIV",
+    Opcode.NOP: "NOI",
+}
+
+#: Cache-level assumptions a caller may pick for memory instructions.
+MEMORY_ASSUMPTIONS: dict[str, tuple[str, str]] = {
+    "MEMORY": ("LDM", "STM"),
+    "L2": ("LDL2", "STL2"),
+    "L1": ("LDL1", "STL1"),
+}
+
+
+@dataclass
+class BranchRisk:
+    """One conditional branch's leak assessment."""
+
+    branch_index: int
+    branch_text: str
+    taken_events: tuple[str, ...]
+    fallthrough_events: tuple[str, ...]
+    savat_estimate_zj: float
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.savat_estimate_zj:6.2f} zJ] instruction {self.branch_index}: "
+            f"{self.branch_text}  taken={'+'.join(self.taken_events) or '-'}  "
+            f"fallthrough={'+'.join(self.fallthrough_events) or '-'}"
+        )
+
+
+def instruction_event(
+    instruction: Instruction, memory_assumption: str = "MEMORY"
+) -> str | None:
+    """Figure-5 event name for one instruction, or None for branches."""
+    if instruction.is_branch or instruction.opcode is Opcode.HALT:
+        return None
+    if instruction.opcode in (Opcode.LOAD, Opcode.STORE):
+        try:
+            load_event, store_event = MEMORY_ASSUMPTIONS[memory_assumption.upper()]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown memory assumption {memory_assumption!r}; "
+                f"options: {', '.join(MEMORY_ASSUMPTIONS)}"
+            ) from None
+        return store_event if instruction.opcode is Opcode.STORE else load_event
+    try:
+        return _BASE_EVENT_MAP[instruction.opcode]
+    except KeyError:
+        raise ConfigurationError(
+            f"no event mapping for opcode {instruction.opcode!r}"
+        ) from None
+
+
+def _path_events(
+    program: Program,
+    start: int,
+    horizon: int,
+    memory_assumption: str,
+) -> tuple[str, ...]:
+    """Events along the straight-line path from ``start``.
+
+    Collection stops at the horizon, at a HALT, at program end, or at a
+    *backward* branch (a loop edge — beyond a static tool's pay grade);
+    forward unconditional jumps are followed, conditional branches end
+    the path (their own risk gets its own entry).
+    """
+    events: list[str] = []
+    index = start
+    while index < len(program) and len(events) < horizon:
+        instruction = program[index]
+        if instruction.opcode is Opcode.HALT:
+            break
+        if instruction.opcode is Opcode.JMP:
+            target = program.label_index(instruction.target)
+            if target <= index:
+                break
+            index = target
+            continue
+        if instruction.is_branch:
+            break
+        event = instruction_event(instruction, memory_assumption)
+        if event is not None:
+            events.append(event)
+        index += 1
+    return tuple(events)
+
+
+def audit_program(
+    program: Program,
+    matrix: SavatMatrix,
+    horizon: int = 16,
+    memory_assumption: str = "MEMORY",
+) -> list[BranchRisk]:
+    """Rank every conditional branch by the SAVAT of its two paths.
+
+    Parameters
+    ----------
+    program:
+        The program to audit (typically assembled from the kernel under
+        review).
+    matrix:
+        A measured (or reference) SAVAT matrix providing the pairwise
+        costs.
+    horizon:
+        Maximum instructions followed down each path.
+    memory_assumption:
+        Which cache level memory accesses are assumed to hit
+        (``"MEMORY"``, ``"L2"``, or ``"L1"``).
+
+    Returns
+    -------
+    list[BranchRisk]
+        Sorted loudest-first.  An empty list means no conditional
+        branches — no control-flow leak surface at all.
+    """
+    if horizon < 1:
+        raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+    risks: list[BranchRisk] = []
+    for index, instruction in enumerate(program):
+        if instruction.opcode not in (Opcode.JNZ, Opcode.JZ):
+            continue
+        target = program.label_index(instruction.target)
+        if target <= index:
+            continue  # loop back-edge, not a data-dependent selection
+        taken = _path_events(program, target, horizon, memory_assumption)
+        fallthrough = _path_events(program, index + 1, horizon, memory_assumption)
+        estimate = estimate_sequence_savat(matrix, list(taken), list(fallthrough))
+        risks.append(
+            BranchRisk(
+                branch_index=index,
+                branch_text=str(instruction),
+                taken_events=taken,
+                fallthrough_events=fallthrough,
+                savat_estimate_zj=estimate,
+            )
+        )
+    risks.sort(key=lambda risk: risk.savat_estimate_zj, reverse=True)
+    return risks
+
+
+def audit_report(risks: list[BranchRisk], floor_zj: float) -> str:
+    """Human-readable audit summary.
+
+    Branches within 2x of the measurement floor are reported as balanced
+    (an attacker can't use them); the rest are the to-fix list.
+    """
+    if not risks:
+        return "no conditional branches: no control-flow leak surface"
+    lines = ["SAVAT code audit (loudest data-dependent branches first):"]
+    for risk in risks:
+        verdict = "BALANCED" if risk.savat_estimate_zj <= 2 * floor_zj else "LEAKS"
+        lines.append(f"  {verdict:>8}  {risk}")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Terminal visualizations of SAVAT results.
+
+The paper presents its matrices both as numeric tables (Figure 9) and as
+grayscale images (Figures 10/12/14/17/18), plus bar charts of selected
+pairings (Figures 11/13/15/16).  These renderers produce the same
+artifacts as text, so every benchmark can print the figure it
+regenerates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Light-to-dark ramp used for the grayscale matrix (white = smallest
+#: SAVAT, black = largest, matching the paper's convention).
+SHADE_RAMP = " .:-=+*#%@"
+
+
+def shade(value: float, low: float, high: float, ramp: str = SHADE_RAMP) -> str:
+    """Map ``value`` in [low, high] to a ramp character."""
+    if high <= low:
+        return ramp[0]
+    position = (value - low) / (high - low)
+    index = int(np.clip(position, 0.0, 1.0) * (len(ramp) - 1))
+    return ramp[index]
+
+
+def matrix_table(
+    values: np.ndarray,
+    labels: Sequence[str],
+    title: str = "",
+    cell_format: str = "{:6.1f}",
+) -> str:
+    """Numeric table in the style of the paper's Figure 9."""
+    values = np.asarray(values, dtype=np.float64)
+    count = len(labels)
+    if values.shape != (count, count):
+        raise ConfigurationError(
+            f"matrix shape {values.shape} does not match {count} labels"
+        )
+    width = max(max(len(label) for label in labels), 6)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (width + 1) + " ".join(f"{label:>{width}}" for label in labels)
+    lines.append(header)
+    for i, label in enumerate(labels):
+        row = " ".join(f"{cell_format.format(value):>{width}}" for value in values[i])
+        lines.append(f"{label:>{width}} {row}")
+    return "\n".join(lines)
+
+
+def grayscale_matrix(
+    values: np.ndarray,
+    labels: Sequence[str],
+    title: str = "",
+) -> str:
+    """ASCII grayscale rendering in the style of Figures 10/12/14/17/18.
+
+    White (space) is the smallest value in the matrix, black (``@``) the
+    largest; each cell is doubled horizontally for a square-ish aspect.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    count = len(labels)
+    if values.shape != (count, count):
+        raise ConfigurationError(
+            f"matrix shape {values.shape} does not match {count} labels"
+        )
+    low = float(values.min())
+    high = float(values.max())
+    width = max(len(label) for label in labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (width + 1) + " ".join(label[:2] for label in labels)
+    lines.append(header)
+    for i, label in enumerate(labels):
+        cells = " ".join(shade(value, low, high) * 2 for value in values[i])
+        lines.append(f"{label:>{width}} {cells}")
+    lines.append(f"(white = {low:.1f}, black = {high:.1f})")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, float]],
+    title: str = "",
+    unit: str = "zJ",
+    width: int = 50,
+) -> str:
+    """Horizontal ASCII bar chart in the style of Figures 11/13/15/16."""
+    if not rows:
+        raise ConfigurationError("bar chart needs at least one row")
+    if width < 4:
+        raise ConfigurationError(f"chart width must be >= 4, got {width}")
+    peak = max(value for _label, value in rows)
+    label_width = max(len(label) for label, _value in rows)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        length = 0 if peak <= 0 else int(round(value / peak * width))
+        bar = "#" * length
+        lines.append(f"{label:>{label_width}} |{bar:<{width}} {value:.2f} {unit}")
+    return "\n".join(lines)
+
+
+def spectrum_plot(
+    freqs_hz: np.ndarray,
+    psd_w_per_hz: np.ndarray,
+    height: int = 16,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Log-scale ASCII spectrum in the style of Figures 7/8."""
+    freqs = np.asarray(freqs_hz, dtype=np.float64)
+    psd = np.asarray(psd_w_per_hz, dtype=np.float64)
+    if freqs.shape != psd.shape or freqs.ndim != 1 or len(freqs) < 2:
+        raise ConfigurationError("spectrum plot needs matching 1-D freq/psd arrays")
+    if height < 4 or width < 8:
+        raise ConfigurationError("spectrum plot needs height >= 4 and width >= 8")
+    # Downsample to the plot width by max-pooling (peaks must survive).
+    edges = np.linspace(0, len(freqs), width + 1, dtype=int)
+    pooled = np.array(
+        [psd[start:end].max() if end > start else psd[min(start, len(psd) - 1)]
+         for start, end in zip(edges[:-1], edges[1:])]
+    )
+    floor = max(pooled[pooled > 0].min() if np.any(pooled > 0) else 1e-30, 1e-30)
+    log_values = np.log10(np.clip(pooled, floor, None))
+    low, high = float(log_values.min()), float(log_values.max())
+    span = max(high - low, 1e-12)
+    rows: list[str] = []
+    if title:
+        rows.append(title)
+    for level in range(height, 0, -1):
+        threshold = low + span * level / height
+        line = "".join("#" if value >= threshold else " " for value in log_values)
+        decade = 10 ** (threshold)
+        rows.append(f"{decade:8.1e} |{line}")
+    rows.append(" " * 10 + "-" * width)
+    rows.append(
+        " " * 10
+        + f"{freqs[0] / 1e3:.1f} kHz{'':>{max(width - 20, 1)}}{freqs[-1] / 1e3:.1f} kHz"
+    )
+    return "\n".join(rows)

@@ -1,0 +1,33 @@
+"""Attack demonstrations: the Section III RSA leak model, end to end."""
+
+from repro.attacks.distinguisher import (
+    AttackResult,
+    BlockTemplates,
+    observe,
+    profile_templates,
+    recover_key,
+    run_attack,
+)
+from repro.attacks.modexp import (
+    DEFAULT_BLOCK_WORK,
+    VictimExecution,
+    block_schedule,
+    multiply_block_program,
+    simulate_victim,
+    square_block_program,
+)
+
+__all__ = [
+    "AttackResult",
+    "BlockTemplates",
+    "DEFAULT_BLOCK_WORK",
+    "VictimExecution",
+    "block_schedule",
+    "multiply_block_program",
+    "observe",
+    "profile_templates",
+    "recover_key",
+    "run_attack",
+    "simulate_victim",
+    "square_block_program",
+]

@@ -1,0 +1,142 @@
+"""Square-and-multiply modular exponentiation — the victim workload.
+
+Section III motivates SAVAT with the classic RSA leak: "modular
+exponentiation ... results in testing the bits of the secret exponent
+one at a time, and multiplying two large numbers whenever such a bit is
+1.  This entire multiplication can thus be viewed as the difference in
+execution caused by sensitive information."
+
+This module builds that victim on the reproduction's own ISA.  Per key
+bit the victim always executes a *square* block; for 1-bits it also
+executes a *multiply* block.  The two blocks differ the way real
+implementations do: the multiply fetches the precomputed multiplier
+from a table in memory (windowed-exponentiation style), so a 1-bit adds
+a burst of loads and an extra modular reduction (``idiv``) — precisely
+the high-SAVAT, data-dependent behaviours the paper tells programmers
+to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.isa.instructions import Instruction, Opcode, imm, mem, reg
+from repro.isa.program import Program
+from repro.machines.calibrated import CalibratedMachine
+from repro.uarch.activity import ActivityTrace
+
+#: Multiply/reduce repetitions per block (stands in for the limbs of a
+#: big-number multiplication).
+DEFAULT_BLOCK_WORK = 24
+
+#: Base address of the multiplier table the 1-bit path reads.
+TABLE_BASE = 0x0800_0000
+
+
+@dataclass
+class VictimExecution:
+    """A simulated victim run plus the ground truth an attacker lacks."""
+
+    key_bits: tuple[int, ...]
+    trace: ActivityTrace
+    block_boundaries: tuple[tuple[int, int, str], ...]
+    #: (start_cycle, end_cycle, kind) for every block, kind in
+    #: {"square", "multiply"}.
+
+    @property
+    def num_bits(self) -> int:
+        """Number of key bits processed."""
+        return len(self.key_bits)
+
+
+def square_block_program(work: int) -> Program:
+    """One squaring block: limb multiplies plus a modular reduction."""
+    instructions: list[Instruction] = []
+    for _ in range(work):
+        instructions.append(Instruction(Opcode.IMUL, dest=reg("ebx"), src=imm(40503)))
+        instructions.append(Instruction(Opcode.ADD, dest=reg("edx"), src=reg("ebx")))
+    instructions.extend(_reduction_instructions())
+    return Program(instructions, name="square block")
+
+
+def multiply_block_program(work: int) -> Program:
+    """One multiply block: table-fetch of the multiplier, limb
+    multiplies, and a modular reduction.
+
+    The table loads are what a windowed implementation does on 1-bits;
+    they are the data-dependent memory accesses the paper singles out as
+    "the most worrisome situation".
+    """
+    instructions: list[Instruction] = []
+    for _ in range(work):
+        instructions.append(Instruction(Opcode.LOAD, dest=reg("eax"), src=mem("esi")))
+        instructions.append(Instruction(Opcode.ADD, dest=reg("esi"), src=imm(64)))
+        instructions.append(Instruction(Opcode.IMUL, dest=reg("ebx"), src=reg("eax")))
+        instructions.append(Instruction(Opcode.ADD, dest=reg("edx"), src=reg("ebx")))
+    instructions.extend(_reduction_instructions())
+    return Program(instructions, name="multiply block")
+
+
+def _reduction_instructions() -> list[Instruction]:
+    """Modular reduction of the accumulated limbs (an idiv)."""
+    return [
+        Instruction(Opcode.MOV, dest=reg("eax"), src=reg("edx")),
+        Instruction(Opcode.MOV, dest=reg("ebp"), src=imm(65_537)),
+        Instruction(Opcode.IDIV, dest=reg("ebp")),
+        Instruction(Opcode.MOV, dest=reg("edx"), src=reg("eax")),
+    ]
+
+
+def block_schedule(key_bits: list[int] | tuple[int, ...]) -> list[str]:
+    """The square/multiply block sequence a key produces."""
+    if not key_bits:
+        raise ConfigurationError("key must have at least one bit")
+    if any(bit not in (0, 1) for bit in key_bits):
+        raise ConfigurationError(f"key bits must be 0/1, got {key_bits!r}")
+    schedule: list[str] = []
+    for bit in key_bits:
+        schedule.append("square")
+        if bit:
+            schedule.append("multiply")
+    return schedule
+
+
+def simulate_victim(
+    machine: CalibratedMachine,
+    key_bits: list[int] | tuple[int, ...],
+    block_work: int = DEFAULT_BLOCK_WORK,
+) -> VictimExecution:
+    """Run the victim on the simulated machine, keeping ground truth.
+
+    Blocks execute back to back on one core (cache and register state
+    persist, as in a real run); the per-block traces are concatenated so
+    the exact block boundaries are known for profiling and scoring.
+    """
+    schedule = block_schedule(key_bits)
+    core = machine.make_core()
+    core.registers["ebx"] = 3
+    core.registers["edx"] = 1
+    core.registers["esi"] = TABLE_BASE
+
+    square = square_block_program(block_work)
+    multiply = multiply_block_program(block_work)
+
+    pieces: list[np.ndarray] = []
+    boundaries: list[tuple[int, int, str]] = []
+    cursor = 0
+    for kind in schedule:
+        program = square if kind == "square" else multiply
+        result = core.run(program, warm_hierarchy=True)
+        pieces.append(result.trace.data)
+        boundaries.append((cursor, cursor + result.cycles, kind))
+        cursor += result.cycles
+
+    trace = ActivityTrace(np.concatenate(pieces, axis=1), machine.spec.clock_hz)
+    return VictimExecution(
+        key_bits=tuple(key_bits),
+        trace=trace,
+        block_boundaries=tuple(boundaries),
+    )

@@ -1,0 +1,20 @@
+"""Baseline metrics from prior work (Section VI comparisons)."""
+
+from repro.baselines.epi import (
+    EpiResult,
+    epi_table,
+    measure_energy_per_instruction,
+    ranking_disagreement,
+)
+from repro.baselines.svf import SvfResult, compute_svf, similarity_matrix, window_features
+
+__all__ = [
+    "EpiResult",
+    "SvfResult",
+    "compute_svf",
+    "epi_table",
+    "measure_energy_per_instruction",
+    "ranking_disagreement",
+    "similarity_matrix",
+    "window_features",
+]

@@ -1,0 +1,131 @@
+"""Energy-per-instruction (EPI) — the other prior-art baseline.
+
+Section VI: "Previous research has developed methods for measuring
+energy per instruction (for example [Bertran et al., MICRO 2012]),
+however ... Whereas previous work measures the energy expended per
+instruction, the metric discussed in this paper measures only the energy
+that can be received and exploited by an attacker through a given side
+channel."
+
+This module measures EPI the Bertran way — steady-state
+micro-benchmarks, total power divided by instruction rate — on the same
+simulated machines, so the two metrics can be compared head to head:
+the EPI ranking (how much energy an instruction *burns*) and the SAVAT
+ranking (how much signal it *hands the attacker*) genuinely disagree,
+which is the paper's argument for needing a new metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channels.power import POWER_WEIGHTS
+from repro.codegen.alternation import POINTER_REGISTER_A, build_probe_program
+from repro.codegen.frequency import plan_sweep_for_core
+from repro.codegen.pointers import prime_for_sweep
+from repro.errors import ConfigurationError
+from repro.isa.events import EVENT_ORDER, InstructionEvent, get_event
+from repro.machines.calibrated import CalibratedMachine
+from repro.uarch.components import COMPONENT_INDEX
+
+#: Joules per abstract activity unit at weight 1.0 — a plausible scale
+#: for mid-2000s cores (puts an ADD near 50 pJ); only ratios matter for
+#: the EPI-vs-SAVAT comparison.
+ENERGY_PER_ACTIVITY_UNIT_J = 6e-11
+
+#: Iterations per EPI micro-benchmark run.
+EPI_ITERATIONS = 128
+
+
+@dataclass
+class EpiResult:
+    """Energy-per-instruction measurement for one event."""
+
+    event: str
+    energy_j: float
+    cycles_per_instruction: float
+
+    @property
+    def energy_pj(self) -> float:
+        """Energy in picojoules (the unit EPI papers use)."""
+        return self.energy_j * 1e12
+
+
+def measure_energy_per_instruction(
+    machine: CalibratedMachine,
+    event: InstructionEvent | str,
+) -> EpiResult:
+    """Steady-state EPI micro-benchmark for one event.
+
+    Runs the event's loop in cache steady state, converts the activity
+    trace to switching energy via the per-component power weights, and
+    subtracts the loop-overhead energy measured with the NOI kernel —
+    the same "empty benchmark" correction automated EPI frameworks use.
+    """
+    if isinstance(event, str):
+        event = get_event(event)
+
+    def _loop_energy_and_cycles(target: InstructionEvent) -> tuple[float, float]:
+        core = machine.make_core()
+        plan = plan_sweep_for_core(core, target)
+        program = build_probe_program(target, EPI_ITERATIONS, plan)
+        prime_for_sweep(core.hierarchy, plan, is_write=target.is_store)
+        core.registers[POINTER_REGISTER_A] = plan.base
+        core.registers["eax"] = 173
+        result = core.run(program, warm_hierarchy=True)
+        weights = np.zeros(len(COMPONENT_INDEX))
+        for component, value in POWER_WEIGHTS.items():
+            weights[COMPONENT_INDEX[component]] = value
+        activity = float(weights @ result.trace.data.sum(axis=1))
+        return activity * ENERGY_PER_ACTIVITY_UNIT_J, result.cycles / EPI_ITERATIONS
+
+    total_energy, cycles = _loop_energy_and_cycles(event)
+    overhead_energy, _noi_cycles = _loop_energy_and_cycles(get_event("NOI"))
+    per_instruction = max(total_energy - overhead_energy, 0.0) / EPI_ITERATIONS
+    return EpiResult(
+        event=event.name,
+        energy_j=per_instruction,
+        cycles_per_instruction=cycles,
+    )
+
+
+def epi_table(machine: CalibratedMachine) -> dict[str, EpiResult]:
+    """EPI for every Figure-5 event except NOI (the null benchmark)."""
+    return {
+        name: measure_energy_per_instruction(machine, name)
+        for name in EVENT_ORDER
+        if name != "NOI"
+    }
+
+
+def ranking_disagreement(
+    epi_values: dict[str, float], savat_values: dict[str, float]
+) -> dict[str, float]:
+    """Quantify how differently EPI and SAVAT rank the same events.
+
+    Returns Spearman correlation plus the largest per-event rank gap —
+    the paper's point is made when the correlation is visibly imperfect
+    and some event (historically DIV or an L2 access) sits high in one
+    ranking and low in the other.
+    """
+    from scipy import stats
+
+    common = sorted(set(epi_values) & set(savat_values))
+    if len(common) < 3:
+        raise ConfigurationError("need >= 3 common events to compare rankings")
+    epi_ordered = [epi_values[name] for name in common]
+    savat_ordered = [savat_values[name] for name in common]
+    spearman = float(stats.spearmanr(epi_ordered, savat_ordered).statistic)
+    epi_ranks = {name: rank for rank, name in enumerate(sorted(common, key=epi_values.get))}
+    savat_ranks = {
+        name: rank for rank, name in enumerate(sorted(common, key=savat_values.get))
+    }
+    gaps = {name: abs(epi_ranks[name] - savat_ranks[name]) for name in common}
+    worst = max(gaps, key=gaps.get)
+    return {
+        "spearman": spearman,
+        "max_rank_gap": float(gaps[worst]),
+        "max_rank_gap_event": worst,  # type: ignore[dict-item]
+    }

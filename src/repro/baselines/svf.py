@@ -1,0 +1,116 @@
+"""Side-channel Vulnerability Factor (SVF) — the prior-art baseline.
+
+SVF (Demme et al., ISCA 2012) is the metric the paper positions itself
+against (Sections I and VI): it measures how strongly a side-channel
+signal *correlates with high-level execution patterns* (program phases),
+giving a whole-system leakiness number but "limited insight ... about
+which architectural and microarchitectural features are the strongest
+leakers".
+
+This simplified implementation follows the published recipe:
+
+1. slice the victim's ground-truth activity and the attacker's observed
+   signal into aligned windows;
+2. build the two pairwise *similarity matrices* (one from the oracle
+   windows, one from the signal windows);
+3. SVF is the Pearson correlation between corresponding entries.
+
+The contrast experiment (``examples/svf_vs_savat.py``) computes SVF for
+a modular-exponentiation victim and shows that, unlike SAVAT, the single
+number cannot say *which* instruction pair leaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def window_features(series: np.ndarray, num_windows: int) -> np.ndarray:
+    """Split a 1-D (or ``(channels, T)``) series into window features.
+
+    Each window's feature vector is the per-channel mean activity; the
+    trailing remainder is dropped.  Returns ``(num_windows, channels)``.
+    """
+    series = np.atleast_2d(np.asarray(series, dtype=np.float64))
+    channels, length = series.shape
+    if num_windows < 2:
+        raise ConfigurationError(f"need >= 2 windows, got {num_windows}")
+    if length < num_windows:
+        raise ConfigurationError(
+            f"series of length {length} cannot form {num_windows} windows"
+        )
+    window = length // num_windows
+    usable = window * num_windows
+    blocks = series[:, :usable].reshape(channels, num_windows, window)
+    return blocks.mean(axis=2).T
+
+
+def similarity_matrix(features: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean-distance matrix between window features.
+
+    Demme et al. use distances between windows as the "pattern"; any
+    monotone transform works since SVF is a correlation.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ConfigurationError(f"features must be 2-D, got shape {features.shape}")
+    deltas = features[:, np.newaxis, :] - features[np.newaxis, :, :]
+    return np.sqrt((deltas**2).sum(axis=2))
+
+
+@dataclass
+class SvfResult:
+    """SVF plus the intermediate matrices, for inspection."""
+
+    svf: float
+    oracle_similarity: np.ndarray
+    signal_similarity: np.ndarray
+    num_windows: int
+
+
+def compute_svf(
+    oracle_series: np.ndarray,
+    signal_series: np.ndarray,
+    num_windows: int = 64,
+) -> SvfResult:
+    """Side-channel Vulnerability Factor between oracle and observation.
+
+    Parameters
+    ----------
+    oracle_series:
+        Ground-truth execution pattern over time (e.g. the victim's
+        per-cycle activity, or a phase indicator series).
+    signal_series:
+        What the attacker records (e.g. the synthesized antenna signal).
+        May have a different length; both are reduced to ``num_windows``
+        aligned windows.
+    num_windows:
+        Number of phase windows.
+
+    Returns
+    -------
+    SvfResult
+        ``svf`` in [-1, 1]; 1 means the signal's phase structure mirrors
+        the execution's phase structure perfectly.
+    """
+    oracle = window_features(oracle_series, num_windows)
+    signal = window_features(signal_series, num_windows)
+    oracle_sim = similarity_matrix(oracle)
+    signal_sim = similarity_matrix(signal)
+    upper = np.triu_indices(num_windows, 1)
+    oracle_flat = oracle_sim[upper]
+    signal_flat = signal_sim[upper]
+    if oracle_flat.std() == 0 or signal_flat.std() == 0:
+        svf = 0.0
+    else:
+        svf = float(np.corrcoef(oracle_flat, signal_flat)[0, 1])
+    return SvfResult(
+        svf=svf,
+        oracle_similarity=oracle_sim,
+        signal_similarity=signal_sim,
+        num_windows=num_windows,
+    )

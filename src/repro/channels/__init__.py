@@ -1,0 +1,35 @@
+"""Non-EM side channels: power and acoustic SAVAT (Section VII)."""
+
+from repro.channels.acoustic import (
+    ACOUSTIC_ALTERNATION_HZ,
+    MICROPHONE_LOWPASS_HZ,
+    laptop_acoustic_channel,
+)
+from repro.channels.base import ChannelModel
+from repro.channels.measurement import (
+    ChannelSavatResult,
+    channel_comparison,
+    distinguishability_profile,
+    measure_channel_savat,
+)
+from repro.channels.power import (
+    POWER_ALTERNATION_HZ,
+    POWER_WEIGHTS,
+    PSU_LOWPASS_HZ,
+    wall_power_channel,
+)
+
+__all__ = [
+    "ACOUSTIC_ALTERNATION_HZ",
+    "ChannelModel",
+    "ChannelSavatResult",
+    "MICROPHONE_LOWPASS_HZ",
+    "POWER_ALTERNATION_HZ",
+    "POWER_WEIGHTS",
+    "PSU_LOWPASS_HZ",
+    "channel_comparison",
+    "distinguishability_profile",
+    "laptop_acoustic_channel",
+    "measure_channel_savat",
+    "wall_power_channel",
+]

@@ -1,0 +1,67 @@
+"""The acoustic side channel (Evan's under-the-table microphone).
+
+Laptop "coil whine" comes from VRM inductors and ceramic capacitors
+physically deforming with load-current changes; Genkin et al.'s acoustic
+RSA attack (the paper's acoustic citations [4], [51]) exploits exactly
+this.  The model:
+
+* pickup weights proportional to each component's *supply current*
+  (acoustics, like power, has essentially one mode per emitting
+  regulator; we model the CPU VRM and the memory VRM as two modes, so
+  off-chip and on-chip activity are separable but finer structure is
+  not);
+* a low-pass at the top of the microphone/mechanical response
+  (~50 kHz for an ultrasound-capable capture chain);
+* an ambient acoustic noise floor well above an RF analyzer's.
+
+The recommended alternation frequency sits in the quiet ultrasound gap
+above human-audible noise but inside the mic's response — the same
+"choose a quiet frequency" freedom Section III highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import ChannelModel
+from repro.em.environment import NoiseEnvironment, RadioInterferer
+from repro.uarch.components import COMPONENT_INDEX, OFF_CHIP_COMPONENTS
+from repro.channels.power import POWER_WEIGHTS
+
+#: Microphone/mechanical response corner.
+MICROPHONE_LOWPASS_HZ = 50_000.0
+
+#: Ultrasonic alternation frequency (above fans/ambient, inside the mic).
+ACOUSTIC_ALTERNATION_HZ = 30_000.0
+
+#: Ambient + microphone noise floor at the capture output, W/Hz.
+ACOUSTIC_FLOOR_W_PER_HZ = 1e-13
+
+
+def laptop_acoustic_channel(scale: float = 2e-7) -> ChannelModel:
+    """The coil-whine acoustic channel of a laptop.
+
+    Mode 0 is the CPU VRM (on-chip components), mode 1 the memory
+    subsystem VRM (bus + DRAM): two regulators whine independently and
+    the microphone hears their (incoherent) sum.
+    """
+    weights = np.zeros((2, len(COMPONENT_INDEX)))
+    for component, value in POWER_WEIGHTS.items():
+        mode = 1 if component in OFF_CHIP_COMPONENTS else 0
+        weights[mode, COMPONENT_INDEX[component]] = value * scale
+    return ChannelModel(
+        name="acoustic",
+        weights=weights,
+        environment=NoiseEnvironment(
+            instrument_floor_w_per_hz=ACOUSTIC_FLOOR_W_PER_HZ,
+            include_thermal=False,
+            interferers=(
+                # A fan's blade-pass tone and its harmonic, far below the
+                # ultrasonic measurement band.
+                RadioInterferer(frequency_hz=1_100.0, power_w=5e-9, bandwidth_hz=40.0),
+                RadioInterferer(frequency_hz=2_200.0, power_w=1e-9, bandwidth_hz=40.0),
+            ),
+        ),
+        lowpass_hz=MICROPHONE_LOWPASS_HZ,
+        recommended_frequency_hz=ACOUSTIC_ALTERNATION_HZ,
+    )

@@ -1,0 +1,127 @@
+"""Generic side-channel model for multi-channel SAVAT.
+
+Section VII: "Another direction for future research is to measure SAVAT
+for multiple side channels to help inform decisions about which ones are
+the most dangerous for a particular class of processors or systems",
+and Section I already anticipates that the methodology transfers
+"especially [to] acoustic and power-consumption side channels where
+instruments are readily available to measure the power of the periodic
+signals created by our methodology."
+
+A :class:`ChannelModel` is everything the measurement pipeline needs to
+point the Figure-4 methodology at a different physical channel:
+
+* per-mode, per-component **pickup weights** (how strongly each
+  microarchitectural component's switching activity drives the
+  channel's sensor) — one mode for channels with no spatial structure
+  (a power meter integrates everything into one current), several for
+  field-like channels;
+* a first-order **low-pass corner**: the PSU's bulk capacitance hides
+  fast power transients from a wall-socket meter, a microphone's
+  mechanics roll off ultrasound.  The alternation frequency must be
+  chosen *below* the corner — exactly the kind of practical constraint
+  the paper's software-tunable frequency was designed to accommodate;
+* a **noise environment** for the channel's instrument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.em.environment import NoiseEnvironment
+from repro.errors import ConfigurationError
+from repro.uarch.activity import ActivityTrace
+from repro.uarch.components import NUM_COMPONENTS
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """One physical side channel's sensing model.
+
+    Attributes
+    ----------
+    name:
+        Channel name for reports (``"EM"``, ``"power"``, ``"acoustic"``).
+    weights:
+        Array ``(num_modes, NUM_COMPONENTS)`` mapping per-cycle component
+        activity to the instrument-input signal (volt-equivalent units).
+    environment:
+        Instrument/ambient noise for this channel.
+    lowpass_hz:
+        First-order low-pass corner between the emitter and the
+        instrument, or ``None`` for a flat channel.
+    recommended_frequency_hz:
+        Alternation frequency that suits the channel's passband.
+    """
+
+    name: str
+    weights: np.ndarray
+    environment: NoiseEnvironment
+    lowpass_hz: float | None = None
+    recommended_frequency_hz: float = 80e3
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        if weights.ndim != 2 or weights.shape[1] != NUM_COMPONENTS:
+            raise ConfigurationError(
+                f"channel weights must have shape (M, {NUM_COMPONENTS}), "
+                f"got {weights.shape}"
+            )
+        if self.lowpass_hz is not None and self.lowpass_hz <= 0:
+            raise ConfigurationError(f"low-pass corner must be positive, got {self.lowpass_hz}")
+        if self.recommended_frequency_hz <= 0:
+            raise ConfigurationError("recommended frequency must be positive")
+        object.__setattr__(self, "weights", weights)
+
+    @property
+    def num_modes(self) -> int:
+        """Number of sensing modes."""
+        return self.weights.shape[0]
+
+    def attenuation_at(self, frequency_hz: float) -> float:
+        """Amplitude attenuation of the low-pass at ``frequency_hz``."""
+        if self.lowpass_hz is None:
+            return 1.0
+        if frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {frequency_hz}")
+        ratio = frequency_hz / self.lowpass_hz
+        return float(1.0 / np.sqrt(1.0 + ratio * ratio))
+
+    def project_trace(self, trace: ActivityTrace) -> np.ndarray:
+        """Instrument-input waveform for one alternation period.
+
+        Applies the pickup weights and, if configured, the first-order
+        low-pass filter.  The trace is one period of a free-running
+        loop, so the filter must start in its *periodic* steady state —
+        a zero (or arbitrary) initial state would inject a settling
+        transient whose fundamental component can dwarf the real A/B
+        difference.  Because the filter is linear, the steady-state
+        initial condition has a closed form: the final state from a
+        zero-state pass, divided by ``1 - decay`` where ``decay`` is the
+        pole raised to the period length.
+        """
+        waveform = trace.project(self.weights)
+        if self.lowpass_hz is None:
+            return waveform
+        from scipy.signal import lfilter
+
+        alpha = min(2.0 * np.pi * self.lowpass_hz / trace.clock_hz, 1.0)
+        numerator = [alpha]
+        denominator = [1.0, alpha - 1.0]
+        num_modes, period = waveform.shape
+        zero_state = np.zeros((num_modes, 1))
+        _first_pass, state_after = lfilter(
+            numerator, denominator, waveform, axis=1, zi=zero_state
+        )
+        pole = 1.0 - alpha
+        # decay = pole**period underflows to 0 for short time constants,
+        # which is exactly the "already settled" case.
+        with np.errstate(under="ignore"):
+            decay = pole**period
+        steady_state = state_after / (1.0 - decay)
+        filtered, _final = lfilter(
+            numerator, denominator, waveform, axis=1, zi=steady_state
+        )
+        return filtered

@@ -1,0 +1,165 @@
+"""Multi-channel SAVAT measurement.
+
+Points the paper's alternation methodology at any
+:class:`~repro.channels.base.ChannelModel`: the same Figure-4 kernel and
+the same cycle-level simulation, with the channel's pickup weights,
+low-pass, and noise in place of the EM chain.  The result is the
+cross-channel "which channel is most dangerous" comparison the paper's
+Section VII asks for.
+
+Channel SAVATs are *not* calibrated against published data (the paper
+measured only EM); the power/acoustic weights are physically-motivated
+defaults, so cross-channel comparisons are qualitative: relative
+structure within a channel is meaningful, absolute levels across
+channels depend on the chosen scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channels.base import ChannelModel
+from repro.codegen.frequency import FrequencyPlan
+from repro.core.savat import _plan_pair, simulate_alternation_period
+from repro.em.coupling import band_power_from_modes, fourier_coefficient
+from repro.errors import MeasurementError
+from repro.isa.events import InstructionEvent, get_event
+from repro.machines.calibrated import CalibratedMachine
+from repro.units import REFERENCE_IMPEDANCE, ZEPTOJOULE
+
+
+@dataclass
+class ChannelSavatResult:
+    """One pairwise SAVAT measurement through a non-EM channel."""
+
+    channel: str
+    event_a: str
+    event_b: str
+    savat_zj: float
+    signal_band_power_w: float
+    pairs_per_second: float
+    alternation_frequency_hz: float
+    lowpass_attenuation: float
+
+    def __str__(self) -> str:
+        return (
+            f"SAVAT[{self.channel}]({self.event_a}/{self.event_b}) = "
+            f"{self.savat_zj:.3g} zJ at {self.alternation_frequency_hz / 1e3:.1f} kHz"
+        )
+
+
+def measure_channel_savat(
+    machine: CalibratedMachine,
+    channel: ChannelModel,
+    event_a: InstructionEvent | str,
+    event_b: InstructionEvent | str,
+    alternation_frequency_hz: float | None = None,
+    rng: np.random.Generator | None = None,
+    loop_noise_fraction: float = 0.05,
+) -> ChannelSavatResult:
+    """Pairwise SAVAT of (A, B) through an arbitrary side channel.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine (its EM calibration is unused here; only
+        the microarchitecture matters).
+    channel:
+        The channel model (e.g. :func:`repro.channels.wall_power_channel`).
+    alternation_frequency_hz:
+        Defaults to the channel's recommended frequency — a power meter
+        behind the PSU needs a far slower alternation than an RF
+        antenna, and the methodology's software-tunable frequency is
+        exactly what makes that possible.
+    """
+    if isinstance(event_a, str):
+        event_a = get_event(event_a)
+    if isinstance(event_b, str):
+        event_b = get_event(event_b)
+    frequency = alternation_frequency_hz or channel.recommended_frequency_hz
+    if frequency <= 0:
+        raise MeasurementError(f"alternation frequency must be positive, got {frequency}")
+
+    # SAVAT is alternation-frequency-independent apart from the
+    # channel's low-pass factor (both band power and pair rate scale
+    # out the period length), so slow channels are simulated at a
+    # cycle-budget-friendly frequency and rescaled by the low-pass
+    # response ratio — see the module docstring.
+    max_period_cycles = 3e5
+    simulation_frequency = max(frequency, machine.spec.clock_hz / max_period_cycles)
+
+    plan: FrequencyPlan = _plan_pair(machine, event_a, event_b, simulation_frequency)
+    trace, plan = simulate_alternation_period(machine, plan)
+
+    waveform = channel.project_trace(trace)
+    coefficients = fourier_coefficient(waveform)
+    signal_power = band_power_from_modes(coefficients, REFERENCE_IMPEDANCE)
+
+    simulated_frequency = 1.0 / trace.duration_s
+    rescale = channel.attenuation_at(frequency) / channel.attenuation_at(
+        simulated_frequency
+    )
+    signal_power *= rescale**2
+
+    achieved_frequency = frequency * simulated_frequency / simulation_frequency
+    pairs_per_second = plan.spec.inst_loop_count * simulated_frequency
+
+    # Noise: the channel instrument's residual after noise correction.
+    band_half_width = max(frequency * 0.0125, 10.0)
+    expected = channel.environment.band_noise_power(frequency, band_half_width, rng=None)
+    drawn = channel.environment.band_noise_power(frequency, band_half_width, rng=rng)
+    residual = drawn - expected
+
+    loop_factor = 1.0
+    if rng is not None and loop_noise_fraction > 0:
+        loop_factor = max(1.0 + rng.normal(0.0, loop_noise_fraction), 0.0)
+
+    total = max(signal_power * loop_factor + residual, 0.0)
+    return ChannelSavatResult(
+        channel=channel.name,
+        event_a=event_a.name,
+        event_b=event_b.name,
+        savat_zj=total / pairs_per_second / ZEPTOJOULE,
+        signal_band_power_w=signal_power,
+        pairs_per_second=pairs_per_second,
+        alternation_frequency_hz=achieved_frequency,
+        lowpass_attenuation=channel.attenuation_at(achieved_frequency),
+    )
+
+
+def channel_comparison(
+    machine: CalibratedMachine,
+    channels: list[ChannelModel],
+    pairings: list[tuple[str, str]],
+    rng: np.random.Generator | None = None,
+) -> dict[str, dict[str, float]]:
+    """Per-channel SAVAT for a list of pairings (Section VII's table).
+
+    Returns ``{channel name: {"A/B": savat_zj, ...}, ...}``.  Within a
+    channel, compare cells freely; across channels, compare only the
+    *structure* (each channel's weights carry an arbitrary scale).
+    """
+    table: dict[str, dict[str, float]] = {}
+    for channel in channels:
+        row: dict[str, float] = {}
+        for event_a, event_b in pairings:
+            result = measure_channel_savat(machine, channel, event_a, event_b, rng=rng)
+            row[f"{event_a}/{event_b}"] = result.savat_zj
+        table[channel.name] = row
+    return table
+
+
+def distinguishability_profile(table: dict[str, dict[str, float]]) -> dict[str, dict[str, float]]:
+    """Normalize a channel-comparison table per channel.
+
+    Each channel's row is divided by its own maximum so the *shape* of
+    what each channel can distinguish is directly comparable even though
+    absolute scales are not.
+    """
+    normalized: dict[str, dict[str, float]] = {}
+    for channel, row in table.items():
+        peak = max(row.values()) or 1.0
+        normalized[channel] = {pair: value / peak for pair, value in row.items()}
+    return normalized

@@ -1,0 +1,86 @@
+"""The power-consumption side channel (Evita's wall-socket meter).
+
+The paper's Figure 1 shows Evita measuring power fluctuations "through a
+power meter, disguised as a battery charger, in the wall socket".  The
+channel's physics differ from EM in two ways the model captures:
+
+* **No spatial structure.**  Every component's switching current sums
+  into one rail before the meter sees it, so the channel is a *single
+  mode*: two events with equal total current draw are indistinguishable
+  even if their EM fields differ.  (This is why LDM vs LDL2, easy for
+  the EM attacker, is much harder for Evita.)
+* **A low-pass between the chip and the meter.**  VRM and PSU bulk
+  capacitance smooth the rail; the wall meter only sees slow envelope
+  changes (a corner around a kilohertz).  The alternation frequency must
+  be chosen far below the paper's 80 kHz — the methodology's
+  software-tunable frequency makes that a one-line change.
+
+Weights are per-component dynamic-power coefficients (watts per
+activity unit, to an arbitrary common scale): off-chip drivers and DRAM
+burn the most energy per toggle, the divider and L2 arrays follow, and
+the small front-end structures cost the least.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import ChannelModel
+from repro.em.environment import NoiseEnvironment
+from repro.uarch.components import COMPONENT_INDEX, Component
+
+#: Relative dynamic power per activity unit for each component.  Values
+#: are ordered by physical size/capacitance: board-level structures >>
+#: large arrays > execution units > small front-end logic.
+POWER_WEIGHTS: dict[Component, float] = {
+    Component.FETCH: 0.4,
+    Component.DECODE: 0.5,
+    Component.REGFILE: 0.3,
+    Component.ALU: 0.6,
+    Component.AGU: 0.4,
+    Component.MUL: 1.2,
+    Component.DIV: 1.0,
+    Component.L1D: 0.8,
+    Component.L2: 1.6,
+    Component.WB_BUFFER: 0.3,
+    Component.MEM_BUS: 3.0,
+    Component.DRAM: 2.5,
+}
+
+#: PSU/VRM smoothing corner seen from the wall socket.
+PSU_LOWPASS_HZ = 1_000.0
+
+#: Alternation frequency suited to the power channel's passband.
+POWER_ALTERNATION_HZ = 500.0
+
+#: Wall-meter noise floor, in W/Hz at the meter's sense output.  Cheap
+#: meters are far noisier per hertz than a spectrum analyzer, but the
+#: methodology's narrowband integration still applies.
+POWER_METER_FLOOR_W_PER_HZ = 1e-12
+
+
+def wall_power_channel(scale: float = 1e-6) -> ChannelModel:
+    """The wall-socket power-measurement channel.
+
+    Parameters
+    ----------
+    scale:
+        Global volts-per-activity scale at the meter's sense resistor.
+        The default puts single-instruction power SAVAT in the
+        femtojoule range — energies per instruction are physical here
+        (they are actual switching energy), orders of magnitude above
+        the *radiated* energies of the EM channel.
+    """
+    weights = np.zeros((1, len(COMPONENT_INDEX)))
+    for component, value in POWER_WEIGHTS.items():
+        weights[0, COMPONENT_INDEX[component]] = value * scale
+    return ChannelModel(
+        name="power",
+        weights=weights,
+        environment=NoiseEnvironment(
+            instrument_floor_w_per_hz=POWER_METER_FLOOR_W_PER_HZ,
+            include_thermal=False,
+        ),
+        lowpass_hz=PSU_LOWPASS_HZ,
+        recommended_frequency_hz=POWER_ALTERNATION_HZ,
+    )

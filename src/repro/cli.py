@@ -1,0 +1,242 @@
+"""Command-line interface: ``savat`` (or ``python -m repro.cli``).
+
+Subcommands cover the workflows a downstream user runs most:
+
+* ``savat measure ADD LDM`` — one pairwise measurement;
+* ``savat campaign --events ADD,DIV,LDM`` — a matrix campaign with CSV
+  or JSON output;
+* ``savat groups`` — cluster the events by SAVAT distance;
+* ``savat audit victim.s`` — static leak audit of an assembly file;
+* ``savat attack --key 10110100`` — the RSA-style attack demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine",
+        default="core2duo",
+        help="catalog machine: core2duo, pentium3m, turionx2 (default: core2duo)",
+    )
+    parser.add_argument(
+        "--distance",
+        type=float,
+        default=0.10,
+        metavar="METERS",
+        help="antenna distance in meters (default: 0.10)",
+    )
+
+
+def _command_measure(args: argparse.Namespace) -> int:
+    from repro.core.savat import MeasurementConfig, measure_savat
+    from repro.machines.calibrated import load_calibrated_machine
+
+    machine = load_calibrated_machine(args.machine, args.distance)
+    config = MeasurementConfig(
+        alternation_frequency_hz=args.frequency,
+        method=args.method,
+    )
+    result = measure_savat(machine, args.event_a, args.event_b, config)
+    print(result)
+    print(f"  achieved alternation frequency: {result.achieved_frequency_hz / 1e3:.2f} kHz")
+    print(f"  inst_loop_count: {result.plan.spec.inst_loop_count}")
+    print(f"  A/B pairs per second: {result.pairs_per_second:.3e}")
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    from repro.core.campaign import run_campaign
+    from repro.analysis.visualize import matrix_table
+    from repro.machines.calibrated import load_calibrated_machine
+
+    machine = load_calibrated_machine(args.machine, args.distance)
+    events = args.events.split(",") if args.events else None
+    campaign = run_campaign(
+        machine, events=events, repetitions=args.repetitions, seed=args.seed
+    )
+    if args.format == "csv":
+        print(campaign.to_csv())
+    elif args.format == "json":
+        print(campaign.to_json())
+    else:
+        print(
+            matrix_table(
+                campaign.mean(),
+                campaign.events,
+                title=f"SAVAT (zJ) on {machine.describe()}:",
+            )
+        )
+        print(f"\nstd/mean over {campaign.repetitions} repetitions: "
+              f"{campaign.std_over_mean():.3f}")
+    return 0
+
+
+def _command_groups(args: argparse.Namespace) -> int:
+    from repro.core.campaign import run_campaign
+    from repro.core.clustering import find_groups, group_representatives
+    from repro.machines.calibrated import load_calibrated_machine
+
+    machine = load_calibrated_machine(args.machine, args.distance)
+    campaign = run_campaign(machine, repetitions=args.repetitions, seed=args.seed)
+    groups = find_groups(campaign, num_groups=args.num_groups)
+    print(f"SAVAT clusters on {machine.describe()}:")
+    for group in groups:
+        print("  {" + ", ".join(sorted(group)) + "}")
+    print("representatives:", ", ".join(group_representatives(groups)))
+    return 0
+
+
+def _command_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.code_audit import audit_program, audit_report
+    from repro.core.matrix import SavatMatrix
+    from repro.isa.assembler import assemble
+    from repro.isa.events import EVENT_ORDER
+    from repro.machines.reference_data import get_reference
+
+    with open(args.source) as handle:
+        program = assemble(handle.read(), name=args.source)
+    reference = get_reference(args.machine, args.distance)
+    matrix = SavatMatrix(
+        EVENT_ORDER, reference.values_zj, reference.machine, reference.distance_m
+    )
+    risks = audit_program(
+        program, matrix, memory_assumption=args.assume_memory
+    )
+    floor = float(matrix.symmetrized().diagonal().mean())
+    print(audit_report(risks, floor))
+    leaking = [risk for risk in risks if risk.savat_estimate_zj > 2 * floor]
+    return 1 if leaking else 0
+
+
+def _command_attack(args: argparse.Namespace) -> int:
+    from repro.attacks.distinguisher import run_attack
+    from repro.machines.calibrated import load_calibrated_machine
+
+    key_bits = [int(bit) for bit in args.key]
+    machine = load_calibrated_machine(args.machine, args.distance)
+    result = run_attack(machine, key_bits, seed=args.seed)
+    print(f"true key:      {''.join(map(str, result.true_bits))}")
+    print(f"recovered key: {''.join(map(str, result.recovered_bits))}")
+    print(f"bit accuracy:  {result.accuracy:.0%}{'  (exact)' if result.exact else ''}")
+    return 0 if result.exact else 1
+
+
+def _command_epi(args: argparse.Namespace) -> int:
+    from repro.baselines.epi import epi_table
+    from repro.machines.calibrated import load_calibrated_machine
+
+    machine = load_calibrated_machine(args.machine, args.distance)
+    table = epi_table(machine)
+    print(f"energy per instruction on {machine.describe()}:")
+    for name, result in sorted(table.items(), key=lambda item: -item[1].energy_j):
+        print(
+            f"  {name:>5}: {result.energy_pj:9.1f} pJ "
+            f"({result.cycles_per_instruction:.0f} cycles/iteration)"
+        )
+    return 0
+
+
+def _command_frequency(args: argparse.Namespace) -> int:
+    from repro.core.frequency_selection import recommend_frequency
+    from repro.em.environment import quiet_lab_environment
+
+    recommendation = recommend_frequency(
+        quiet_lab_environment(), args.low, args.high, args.step
+    )
+    print(recommendation)
+    for frequency, noise in sorted(recommendation.surveyed.items()):
+        marker = "  <- chosen" if frequency == recommendation.frequency_hz else ""
+        print(f"  {frequency / 1e3:7.1f} kHz: {noise:.3e} W{marker}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="savat",
+        description="SAVAT side-channel measurement on a simulated bench "
+        "(reproduction of Callan/Zajic/Prvulovic, MICRO 2014)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    measure = subparsers.add_parser("measure", help="measure one A/B pairing")
+    measure.add_argument("event_a", help="event A (e.g. ADD)")
+    measure.add_argument("event_b", help="event B (e.g. LDM)")
+    _add_machine_arguments(measure)
+    measure.add_argument("--frequency", type=float, default=80e3, help="alternation Hz")
+    measure.add_argument(
+        "--method", choices=("analytic", "synthesis"), default="analytic"
+    )
+    measure.set_defaults(handler=_command_measure)
+
+    campaign = subparsers.add_parser("campaign", help="run a pairwise matrix campaign")
+    _add_machine_arguments(campaign)
+    campaign.add_argument("--events", default=None, help="comma-separated subset")
+    campaign.add_argument("--repetitions", type=int, default=3)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--format", choices=("table", "csv", "json"), default="table")
+    campaign.set_defaults(handler=_command_campaign)
+
+    groups = subparsers.add_parser("groups", help="cluster events by SAVAT")
+    _add_machine_arguments(groups)
+    groups.add_argument("--num-groups", type=int, default=4)
+    groups.add_argument("--repetitions", type=int, default=2)
+    groups.add_argument("--seed", type=int, default=0)
+    groups.set_defaults(handler=_command_groups)
+
+    audit = subparsers.add_parser("audit", help="static leak audit of an .s file")
+    audit.add_argument("source", help="assembly source file")
+    _add_machine_arguments(audit)
+    audit.add_argument(
+        "--assume-memory",
+        default="MEMORY",
+        choices=("MEMORY", "L2", "L1"),
+        help="cache level assumed for memory accesses (default: MEMORY)",
+    )
+    audit.set_defaults(handler=_command_audit)
+
+    attack = subparsers.add_parser("attack", help="EM key-extraction demo")
+    attack.add_argument("--key", default="1011010011", help="secret key bits")
+    _add_machine_arguments(attack)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.set_defaults(handler=_command_attack)
+
+    epi = subparsers.add_parser(
+        "epi", help="energy-per-instruction baseline measurement"
+    )
+    _add_machine_arguments(epi)
+    epi.set_defaults(handler=_command_epi)
+
+    frequency = subparsers.add_parser(
+        "frequency", help="survey the environment for a quiet alternation frequency"
+    )
+    frequency.add_argument("--low", type=float, default=40e3)
+    frequency.add_argument("--high", type=float, default=200e3)
+    frequency.add_argument("--step", type=float, default=5e3)
+    frequency.set_defaults(handler=_command_frequency)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Measurement-kernel generation: the Figure 4 alternation code."""
+
+from repro.codegen.alternation import (
+    AlternationSpec,
+    LOOP_REGISTER,
+    POINTER_REGISTER_A,
+    POINTER_REGISTER_B,
+    build_alternation_program,
+    build_half_program,
+    build_probe_program,
+    plan_alternation,
+    pointer_update_instructions,
+)
+from repro.codegen.microarch import (
+    BRH,
+    BRM,
+    LFSR_REGISTER,
+    LFSR_SEED,
+    MicroarchEvent,
+    build_microarch_half,
+    get_microarch_event,
+    lfsr_update_instructions,
+)
+from repro.codegen.frequency import (
+    FrequencyPlan,
+    PROBE_ITERATIONS,
+    measure_cycles_per_iteration,
+    solve_inst_loop_count,
+)
+from repro.codegen.pointers import (
+    BASE_ADDRESS_A,
+    BASE_ADDRESS_B,
+    SweepPlan,
+    footprint_bytes,
+    plan_sweep,
+    prime_for_sweep,
+)
+
+__all__ = [
+    "AlternationSpec",
+    "BRH",
+    "BRM",
+    "LFSR_REGISTER",
+    "LFSR_SEED",
+    "MicroarchEvent",
+    "build_microarch_half",
+    "get_microarch_event",
+    "lfsr_update_instructions",
+    "BASE_ADDRESS_A",
+    "BASE_ADDRESS_B",
+    "FrequencyPlan",
+    "LOOP_REGISTER",
+    "POINTER_REGISTER_A",
+    "POINTER_REGISTER_B",
+    "PROBE_ITERATIONS",
+    "SweepPlan",
+    "build_alternation_program",
+    "build_half_program",
+    "build_probe_program",
+    "footprint_bytes",
+    "measure_cycles_per_iteration",
+    "plan_alternation",
+    "plan_sweep",
+    "pointer_update_instructions",
+    "prime_for_sweep",
+    "solve_inst_loop_count",
+]

@@ -1,0 +1,185 @@
+"""Builder for the paper's A/B alternation microbenchmark (Figure 4).
+
+One :class:`AlternationSpec` describes a measurement kernel: events A
+and B, the per-half instruction count (``inst_loop_count``), and the two
+pointer sweeps.  :func:`build_alternation_program` emits one full
+alternation period — the body of the paper's ``while(1)`` loop — ending
+in ``halt`` so the simulator's trace covers exactly one period.  The
+measurement code tiles that period to form the seconds-long signal the
+spectrum analyzer sees.
+
+The generated code mirrors Figure 4 faithfully:
+
+* lines 2–7: ``inst_loop_count`` iterations of pointer update + the A
+  test instruction;
+* lines 8–13: the same with the B instruction;
+* the pointer-update sequence ``ptr=(ptr&~mask)|((ptr+offset)&mask)`` is
+  present *even when the event is non-memory* (e.g. ADD), so the
+  not-under-test code is identical for every event — the property that
+  makes the A/A diagonal a measurement-error estimate;
+* the NOI event simply leaves the test slot empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.isa.events import InstructionEvent
+from repro.isa.instructions import Instruction, Opcode, imm, mem, reg
+from repro.isa.program import Program
+from repro.uarch.cache import CacheGeometry
+from repro.codegen.pointers import (
+    BASE_ADDRESS_A,
+    BASE_ADDRESS_B,
+    SweepPlan,
+    plan_sweep,
+)
+
+#: Registers used by the kernel: A sweeps with esi, B with edi, the loop
+#: counter lives in ecx, and ebx/edx are pointer-update scratch.
+POINTER_REGISTER_A = "esi"
+POINTER_REGISTER_B = "edi"
+LOOP_REGISTER = "ecx"
+
+
+@dataclass(frozen=True)
+class AlternationSpec:
+    """A fully planned alternation measurement kernel."""
+
+    event_a: InstructionEvent
+    event_b: InstructionEvent
+    inst_loop_count: int
+    sweep_a: SweepPlan
+    sweep_b: SweepPlan
+
+    def __post_init__(self) -> None:
+        if self.inst_loop_count < 1:
+            raise ConfigurationError(
+                f"inst_loop_count must be >= 1, got {self.inst_loop_count}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Readable kernel name, e.g. ``"ADD/LDM x128"``."""
+        return f"{self.event_a.name}/{self.event_b.name} x{self.inst_loop_count}"
+
+    def initial_registers(self) -> dict[str, int]:
+        """Register values the core must hold before running the kernel."""
+        return {
+            POINTER_REGISTER_A: self.sweep_a.base,
+            POINTER_REGISTER_B: self.sweep_b.base,
+            "eax": 173,  # non-zero so idiv has a benign divisor
+            "ebx": 0,
+            "ecx": 0,
+            "edx": 0,
+        }
+
+
+def plan_alternation(
+    event_a: InstructionEvent,
+    event_b: InstructionEvent,
+    l1_geometry: CacheGeometry,
+    l2_geometry: CacheGeometry,
+    inst_loop_count: int,
+) -> AlternationSpec:
+    """Plan sweeps for both halves and bundle them into a spec.
+
+    A and B use disjoint base addresses so each half's accesses hit
+    "separate groups of cache blocks", as Section III requires.
+    """
+    return AlternationSpec(
+        event_a=event_a,
+        event_b=event_b,
+        inst_loop_count=inst_loop_count,
+        sweep_a=plan_sweep(event_a, l1_geometry, l2_geometry, base=BASE_ADDRESS_A),
+        sweep_b=plan_sweep(event_b, l1_geometry, l2_geometry, base=BASE_ADDRESS_B),
+    )
+
+
+def pointer_update_instructions(
+    pointer_register: str, plan: SweepPlan, scratch1: str = "ebx", scratch2: str = "edx"
+) -> list[Instruction]:
+    """Emit ``ptr = (ptr & ~mask) | ((ptr + offset) & mask)``.
+
+    Six instructions, identical in shape for every event (only the mask
+    and offset constants differ, and those are immediates).
+    """
+    mask = plan.mask
+    inverse_mask = mask ^ 0xFFFFFFFF
+    return [
+        Instruction(Opcode.LEA, dest=reg(scratch1), src=mem(pointer_register, displacement=plan.offset)),
+        Instruction(Opcode.AND, dest=reg(scratch1), src=imm(mask)),
+        Instruction(Opcode.MOV, dest=reg(scratch2), src=reg(pointer_register)),
+        Instruction(Opcode.AND, dest=reg(scratch2), src=imm(inverse_mask)),
+        Instruction(Opcode.OR, dest=reg(scratch2), src=reg(scratch1)),
+        Instruction(Opcode.MOV, dest=reg(pointer_register), src=reg(scratch2)),
+    ]
+
+
+def build_half_program(
+    event: InstructionEvent,
+    inst_loop_count: int,
+    plan: SweepPlan,
+    pointer_register: str,
+    tag: str,
+) -> Program:
+    """Build one half of the alternation: lines 2–7 (or 8–13) of Figure 4.
+
+    The half is a counted loop: ``mov ecx, N`` followed by
+    ``inst_loop_count`` iterations of pointer update, the test slot, and
+    the loop bookkeeping (``dec ecx; jnz``).
+    """
+    loop_label = f"{tag}_loop"
+    instructions: list[Instruction] = [
+        Instruction(Opcode.MOV, dest=reg(LOOP_REGISTER), src=imm(inst_loop_count)),
+    ]
+    body = pointer_update_instructions(pointer_register, plan)
+    test = event.test_instruction(pointer_register)
+
+    first = body[0]
+    instructions.append(
+        Instruction(
+            first.opcode,
+            dest=first.dest,
+            src=first.src,
+            label=loop_label,
+        )
+    )
+    instructions.extend(body[1:])
+    if test is not None:
+        instructions.append(test)
+    instructions.append(Instruction(Opcode.DEC, dest=reg(LOOP_REGISTER)))
+    instructions.append(Instruction(Opcode.JNZ, target=loop_label))
+    return Program(instructions, name=f"{tag}:{event.name}")
+
+
+def build_alternation_program(spec: AlternationSpec) -> Program:
+    """One full alternation period (A half, then B half), ending in halt."""
+    half_a = build_half_program(
+        spec.event_a, spec.inst_loop_count, spec.sweep_a, POINTER_REGISTER_A, tag="a"
+    )
+    half_b = build_half_program(
+        spec.event_b, spec.inst_loop_count, spec.sweep_b, POINTER_REGISTER_B, tag="b"
+    )
+    instructions = list(half_a.instructions) + list(half_b.instructions)
+    instructions.append(Instruction(Opcode.HALT))
+    return Program(instructions, name=spec.name)
+
+
+def build_probe_program(
+    event: InstructionEvent,
+    iterations: int,
+    plan: SweepPlan,
+    pointer_register: str = POINTER_REGISTER_A,
+) -> Program:
+    """A single-event loop used to measure steady-state cycles/iteration.
+
+    The alternation-frequency solver runs this probe (with the hierarchy
+    primed) to learn each event's per-iteration cost before choosing
+    ``inst_loop_count``.
+    """
+    half = build_half_program(event, iterations, plan, pointer_register, tag="probe")
+    instructions = list(half.instructions)
+    instructions.append(Instruction(Opcode.HALT))
+    return Program(instructions, name=f"probe:{event.name}")

@@ -1,0 +1,77 @@
+"""The SAVAT metric: pairwise measurement, campaigns, analysis."""
+
+from repro.core.campaign import PAPER_REPETITIONS, run_campaign, selected_pairings_means
+from repro.core.clustering import (
+    cluster_linkage,
+    find_groups,
+    group_representatives,
+    savat_distance_matrix,
+    similarity_graph,
+)
+from repro.core.frequency_selection import (
+    FrequencyRecommendation,
+    recommend_frequency,
+    survey_band_noise,
+)
+from repro.core.matrix import SavatMatrix
+from repro.core.microarch_events import (
+    MicroarchSavatResult,
+    measure_microarch_savat,
+)
+from repro.core.naive import (
+    NaiveComparison,
+    compare_methodologies,
+    naive_measurement,
+    noiseless_subtraction_energy,
+)
+from repro.core.savat import (
+    MeasurementConfig,
+    SavatResult,
+    clear_cpi_cache,
+    measure_savat,
+    prime_alternation_steady_state,
+    simulate_alternation_period,
+)
+from repro.core.sequences import (
+    SequenceSavatResult,
+    estimate_sequence_savat,
+    measure_sequence_savat,
+)
+from repro.core.single_instruction import (
+    INSTRUCTION_EVENT_GROUPS,
+    most_leaky_instructions,
+    single_instruction_savat,
+)
+
+__all__ = [
+    "INSTRUCTION_EVENT_GROUPS",
+    "FrequencyRecommendation",
+    "MeasurementConfig",
+    "MicroarchSavatResult",
+    "measure_microarch_savat",
+    "NaiveComparison",
+    "PAPER_REPETITIONS",
+    "SavatMatrix",
+    "SavatResult",
+    "SequenceSavatResult",
+    "clear_cpi_cache",
+    "cluster_linkage",
+    "compare_methodologies",
+    "estimate_sequence_savat",
+    "find_groups",
+    "group_representatives",
+    "measure_savat",
+    "measure_sequence_savat",
+    "most_leaky_instructions",
+    "naive_measurement",
+    "prime_alternation_steady_state",
+    "recommend_frequency",
+    "survey_band_noise",
+    "run_campaign",
+    "savat_distance_matrix",
+    "selected_pairings_means",
+    "similarity_graph",
+    "simulate_alternation_period",
+    "single_instruction_savat",
+    "noiseless_subtraction_energy",
+]

@@ -1,0 +1,123 @@
+"""Campaign runner: the full N-by-N, 10-repetition measurement of §IV.
+
+One campaign measures every ordered (A, B) pairing of a chosen event set
+with a fixed machine, distance, and alternation frequency, repeating
+each measurement ``repetitions`` times.  As in the paper — where the ten
+repetitions happened "over a period of multiple days to assess how the
+measurement is affected by changes in radio signal interference, room
+temperature, errors in positioning the antenna, etc." — the variation
+between repetitions comes from the environment and the alternation
+loop, not the code under test, so the deterministic kernel simulation is
+shared across repetitions and only the noise is re-drawn.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.matrix import SavatMatrix
+from repro.core.savat import (
+    MeasurementConfig,
+    _plan_pair,
+    measure_savat,
+    simulate_alternation_period,
+)
+from repro.isa.events import EVENT_ORDER, InstructionEvent, get_event
+from repro.machines.calibrated import CalibratedMachine
+
+#: Repetitions used in the paper's campaigns.
+PAPER_REPETITIONS = 10
+
+ProgressCallback = Callable[[str, str, int, int], None]
+
+
+def run_campaign(
+    machine: CalibratedMachine,
+    config: MeasurementConfig | None = None,
+    events: Sequence[InstructionEvent | str] | None = None,
+    repetitions: int = PAPER_REPETITIONS,
+    seed: int = 0,
+    progress: ProgressCallback | None = None,
+) -> SavatMatrix:
+    """Measure the full pairwise SAVAT matrix.
+
+    Parameters
+    ----------
+    machine:
+        Calibrated machine (fixes the distance too).
+    config:
+        Measurement configuration; the paper's defaults if omitted.
+    events:
+        Event subset (defaults to all eleven, in paper order).
+    repetitions:
+        Measurements per cell (paper: 10).
+    seed:
+        Seed for the campaign's noise randomness.
+    progress:
+        Optional callback ``(event_a, event_b, done, total)`` invoked
+        after each cell completes.
+
+    Returns
+    -------
+    SavatMatrix
+        All repetitions of all ordered pairings, in zJ.
+    """
+    config = config or MeasurementConfig()
+    if events is None:
+        resolved = [get_event(name) for name in EVENT_ORDER]
+    else:
+        resolved = [get_event(e) if isinstance(e, str) else e for e in events]
+    names = tuple(event.name for event in resolved)
+    count = len(resolved)
+    rng = np.random.default_rng(seed)
+    samples = np.zeros((count, count, repetitions))
+
+    total = count * count
+    done = 0
+    for i, event_a in enumerate(resolved):
+        for j, event_b in enumerate(resolved):
+            plan = _plan_pair(machine, event_a, event_b, config.alternation_frequency_hz)
+            trace, plan = simulate_alternation_period(machine, plan)
+            for repetition in range(repetitions):
+                result = measure_savat(
+                    machine,
+                    event_a,
+                    event_b,
+                    config=config,
+                    rng=rng,
+                    trace=trace,
+                    plan=plan,
+                )
+                samples[i, j, repetition] = result.savat_zj
+            done += 1
+            if progress is not None:
+                progress(event_a.name, event_b.name, done, total)
+
+    return SavatMatrix(
+        events=names,
+        samples_zj=samples,
+        machine=machine.name,
+        distance_m=machine.distance_m,
+        metadata={
+            "alternation_frequency_hz": config.alternation_frequency_hz,
+            "band_half_width_hz": config.band_half_width_hz,
+            "method": config.method,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+    )
+
+
+def selected_pairings_means(
+    matrix: SavatMatrix, pairings: Sequence[tuple[str, str]]
+) -> list[tuple[str, float]]:
+    """Mean SAVAT for a list of (A, B) pairings, as chart-ready rows.
+
+    Used for the paper's bar charts (Figures 11/13/15/16).
+    """
+    rows: list[tuple[str, float]] = []
+    for event_a, event_b in pairings:
+        rows.append((f"{event_a}/{event_b}", matrix.cell(event_a, event_b)))
+    return rows

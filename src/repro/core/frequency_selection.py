@@ -1,0 +1,84 @@
+"""Choosing a quiet alternation frequency.
+
+Section III: "we also have the freedom to select a frequency with
+relatively little noise — an important consideration for EM emanation
+side channels where direct collection ... is subject not only to
+measurement error but also to noise from various radio signals."
+
+On the real bench the operator eyeballs the analyzer; here the same
+survey is automated: scan candidate frequencies, score each by the
+expected interference power its integration band would collect, and
+recommend the quietest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.em.environment import NoiseEnvironment
+from repro.errors import MeasurementError
+
+
+@dataclass
+class FrequencyRecommendation:
+    """Outcome of a quiet-frequency survey."""
+
+    frequency_hz: float
+    band_noise_w: float
+    surveyed: dict[float, float]
+
+    def __str__(self) -> str:
+        return (
+            f"recommend {self.frequency_hz / 1e3:.1f} kHz "
+            f"({self.band_noise_w:.3e} W expected band noise)"
+        )
+
+
+def survey_band_noise(
+    environment: NoiseEnvironment,
+    candidates_hz: list[float] | np.ndarray,
+    band_half_width_hz: float = 1e3,
+) -> dict[float, float]:
+    """Expected noise power per candidate band (no randomness)."""
+    candidates = np.asarray(candidates_hz, dtype=np.float64)
+    if candidates.ndim != 1 or len(candidates) == 0:
+        raise MeasurementError("need a non-empty 1-D candidate list")
+    if np.any(candidates <= band_half_width_hz):
+        raise MeasurementError(
+            "candidate frequencies must exceed the band half-width "
+            f"({band_half_width_hz} Hz)"
+        )
+    return {
+        float(frequency): environment.band_noise_power(
+            float(frequency), band_half_width_hz, rng=None
+        )
+        for frequency in candidates
+    }
+
+
+def recommend_frequency(
+    environment: NoiseEnvironment,
+    low_hz: float = 40e3,
+    high_hz: float = 200e3,
+    step_hz: float = 5e3,
+    band_half_width_hz: float = 1e3,
+) -> FrequencyRecommendation:
+    """Survey ``[low, high]`` and recommend the quietest band.
+
+    Ties break toward the lowest frequency (slower alternation needs a
+    larger ``inst_loop_count``, which averages loop jitter better).
+    """
+    if not 0 < low_hz < high_hz:
+        raise MeasurementError(f"invalid survey range [{low_hz}, {high_hz}]")
+    if step_hz <= 0:
+        raise MeasurementError(f"survey step must be positive, got {step_hz}")
+    candidates = np.arange(low_hz, high_hz + step_hz / 2, step_hz)
+    surveyed = survey_band_noise(environment, candidates, band_half_width_hz)
+    best_frequency = min(surveyed, key=lambda frequency: (surveyed[frequency], frequency))
+    return FrequencyRecommendation(
+        frequency_hz=best_frequency,
+        band_noise_w=surveyed[best_frequency],
+        surveyed=surveyed,
+    )

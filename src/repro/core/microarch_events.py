@@ -1,0 +1,149 @@
+"""SAVAT for microarchitectural events beyond the data cache (§VII).
+
+Measures pairwise SAVAT between :mod:`repro.codegen.microarch` events —
+currently the branch-prediction events BRH/BRM, pairable with any
+non-memory Figure-5 event — through the machine's calibrated EM model.
+
+Caveat recorded in DESIGN.md: the paper published no branch-event
+measurements, so these cells have no calibration anchor.  The signal
+they measure comes from components the Figure-9 calibration *did*
+constrain (the flush's fetch/decode replay), plus the predictor array
+itself, whose coupling the fit leaves essentially unconstrained (no
+Figure-5 event exercises it differentially); treat absolute values as
+model output, relative structure as the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codegen.alternation import (
+    POINTER_REGISTER_A,
+    POINTER_REGISTER_B,
+)
+from repro.codegen.microarch import (
+    LFSR_REGISTER,
+    LFSR_SEED,
+    MicroarchEvent,
+    build_microarch_half,
+    get_microarch_event,
+)
+from repro.codegen.pointers import BASE_ADDRESS_A, BASE_ADDRESS_B, SweepPlan
+from repro.em.coupling import band_power_from_modes, fourier_coefficient
+from repro.errors import MeasurementError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.machines.calibrated import CalibratedMachine
+from repro.units import REFERENCE_IMPEDANCE, ZEPTOJOULE
+
+
+@dataclass
+class MicroarchSavatResult:
+    """One pairwise microarch-event SAVAT measurement."""
+
+    event_a: str
+    event_b: str
+    machine: str
+    savat_zj: float
+    pairs_per_second: float
+    achieved_frequency_hz: float
+    misprediction_rate: float
+
+    def __str__(self) -> str:
+        return (
+            f"SAVAT({self.event_a}/{self.event_b}) = {self.savat_zj:.2f} zJ "
+            f"on {self.machine} (mispredict rate {self.misprediction_rate:.0%})"
+        )
+
+
+def _half_plan(core) -> SweepPlan:
+    """Nominal L1-class sweep for the (non-memory) microarch kernels."""
+    footprint = core.hierarchy.l1_geometry.size_bytes // 2
+    return SweepPlan(base=BASE_ADDRESS_A, footprint=footprint, offset=64)
+
+
+def _probe_cpi(machine, event: MicroarchEvent) -> float:
+    core = machine.make_core()
+    plan = _half_plan(core)
+    iterations = 64
+    half = build_microarch_half(event, iterations, plan, POINTER_REGISTER_A, "probe")
+    program = Program(list(half.instructions) + [Instruction(Opcode.HALT)], name="probe")
+    core.registers[POINTER_REGISTER_A] = plan.base
+    core.registers[LFSR_REGISTER] = LFSR_SEED
+    core.registers["eax"] = 173
+    # Warm the predictor (loop branch + slot branch histories).
+    core.run(program, warm_hierarchy=True)
+    result = core.run(program, warm_hierarchy=True)
+    return max(result.cycles - 1, iterations) / iterations
+
+
+def measure_microarch_savat(
+    machine: CalibratedMachine,
+    event_a: MicroarchEvent | str,
+    event_b: MicroarchEvent | str,
+    alternation_frequency_hz: float = 80e3,
+    rng: np.random.Generator | None = None,
+    loop_noise_fraction: float = 0.05,
+) -> MicroarchSavatResult:
+    """Measure pairwise SAVAT between two microarchitectural events.
+
+    Event names may be ``"BRH"``/``"BRM"`` or any non-memory Figure-5
+    mnemonic.  The pipeline mirrors :func:`repro.core.savat.measure_savat`
+    minus the cache priming (these kernels live in L1 by construction).
+    """
+    if isinstance(event_a, str):
+        event_a = get_microarch_event(event_a)
+    if isinstance(event_b, str):
+        event_b = get_microarch_event(event_b)
+    if alternation_frequency_hz <= 0:
+        raise MeasurementError(
+            f"alternation frequency must be positive, got {alternation_frequency_hz}"
+        )
+
+    cpi_a = _probe_cpi(machine, event_a)
+    cpi_b = _probe_cpi(machine, event_b)
+    core = machine.make_core()
+    period_cycles = core.clock_hz / alternation_frequency_hz
+    inst_loop_count = max(round(period_cycles / (cpi_a + cpi_b)), 1)
+
+    plan_a = _half_plan(core)
+    plan_b = SweepPlan(
+        base=BASE_ADDRESS_B, footprint=plan_a.footprint, offset=plan_a.offset
+    )
+    half_a = build_microarch_half(event_a, inst_loop_count, plan_a, POINTER_REGISTER_A, "a")
+    half_b = build_microarch_half(event_b, inst_loop_count, plan_b, POINTER_REGISTER_B, "b")
+    program = Program(
+        list(half_a.instructions) + list(half_b.instructions) + [Instruction(Opcode.HALT)],
+        name=f"{event_a.name}/{event_b.name}",
+    )
+
+    core.registers[POINTER_REGISTER_A] = plan_a.base
+    core.registers[POINTER_REGISTER_B] = plan_b.base
+    core.registers[LFSR_REGISTER] = LFSR_SEED
+    core.registers["eax"] = 173
+    core.run(program, warm_hierarchy=True)  # warm-up period (and predictor)
+    result = core.run(program, warm_hierarchy=True)
+    trace = result.trace
+
+    waveform = machine.coupling.project_trace(trace)
+    signal_power = band_power_from_modes(
+        fourier_coefficient(waveform), REFERENCE_IMPEDANCE
+    )
+    achieved_frequency = core.clock_hz / trace.num_cycles
+    pairs_per_second = inst_loop_count * achieved_frequency
+
+    loop_factor = 1.0
+    if rng is not None and loop_noise_fraction > 0:
+        loop_factor = max(1.0 + rng.normal(0.0, loop_noise_fraction), 0.0)
+
+    return MicroarchSavatResult(
+        event_a=event_a.name,
+        event_b=event_b.name,
+        machine=machine.name,
+        savat_zj=signal_power * loop_factor / pairs_per_second / ZEPTOJOULE,
+        pairs_per_second=pairs_per_second,
+        achieved_frequency_hz=achieved_frequency,
+        misprediction_rate=core.predictor.stats.misprediction_rate,
+    )

@@ -1,0 +1,269 @@
+"""The naïve measurement methodology of Figure 2, and why it fails.
+
+Section III motivates the alternation methodology by walking through the
+obvious approach — record the signal around a single A instruction,
+record it again with B substituted, align, and subtract — and showing it
+is swamped by (1) vertical measurement error proportional to the whole
+signal, (2) time misalignment between the captures, and (3) the limited
+real-time sample rate of affordable digitizers.
+
+This module implements that naïve approach against the same simulated
+machine and EM model, so the two methodologies can be compared
+quantitatively: :func:`compare_methodologies` reports the
+relative error of each, and the benchmark ``test_fig02`` regenerates the
+paper's argument as numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codegen.alternation import (
+    POINTER_REGISTER_A,
+    pointer_update_instructions,
+)
+from repro.codegen.frequency import plan_sweep_for_core
+from repro.codegen.pointers import prime_for_sweep
+from repro.errors import MeasurementError
+from repro.instruments.oscilloscope import Oscilloscope
+from repro.isa.events import InstructionEvent, get_event
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.machines.calibrated import CalibratedMachine
+from repro.units import REFERENCE_IMPEDANCE, ZEPTOJOULE
+
+
+@dataclass
+class NaiveComparison:
+    """Naïve-vs-alternation methodology comparison for one pair.
+
+    All energies are in zeptojoules.
+
+    Attributes
+    ----------
+    true_difference_zj:
+        Ground truth: the deterministic (noise-free) SAVAT of the pair —
+        the quantity both methodologies are trying to estimate.
+    noiseless_subtraction_zj:
+        What the naïve method reports even with a *perfect* instrument
+        (infinite sample rate, zero noise, exact trigger).  This isolates
+        the paper's time-misalignment failure: when A's latency differs
+        from B's, everything after the test instruction is compared
+        against shifted, unrelated activity, so the subtraction energy
+        is orders of magnitude larger than the single-instruction
+        difference.
+    naive_estimates_zj:
+        Per-trial estimates from the scope-based naïve procedure
+        (vertical noise + trigger jitter + finite sample rate on top of
+        the misalignment).
+    alternation_estimates_zj:
+        Per-trial estimates from the paper's methodology.
+    """
+
+    event_a: str
+    event_b: str
+    true_difference_zj: float
+    noiseless_subtraction_zj: float
+    naive_estimates_zj: np.ndarray
+    alternation_estimates_zj: np.ndarray
+
+    @staticmethod
+    def _relative_error(estimates: np.ndarray, truth: float) -> float:
+        if truth <= 0:
+            return float("inf")
+        return float(np.mean(np.abs(estimates - truth)) / truth)
+
+    @property
+    def naive_relative_error(self) -> float:
+        """Mean |estimate - truth| / truth for the naïve method."""
+        return self._relative_error(self.naive_estimates_zj, self.true_difference_zj)
+
+    @property
+    def alternation_relative_error(self) -> float:
+        """Mean |estimate - truth| / truth for the alternation method."""
+        return self._relative_error(self.alternation_estimates_zj, self.true_difference_zj)
+
+    @property
+    def error_ratio(self) -> float:
+        """How many times worse the naïve method is."""
+        alternation = self.alternation_relative_error
+        if alternation == 0:
+            return float("inf")
+        return self.naive_relative_error / alternation
+
+    @property
+    def misalignment_overestimate(self) -> float:
+        """Factor by which even a *perfect-instrument* naïve subtraction
+        overestimates the single-instruction difference."""
+        if self.true_difference_zj <= 0:
+            return float("inf")
+        return self.noiseless_subtraction_zj / self.true_difference_zj
+
+
+def build_single_event_fragment(
+    event: InstructionEvent,
+    plan,
+    filler_iterations: int = 24,
+) -> Program:
+    """A program fragment with one test instruction amid identical filler.
+
+    Mirrors Figure 2: ``filler_iterations`` of the pointer-update code,
+    then the single instruction under test, then the same filler again.
+    The filler is identical for both fragments of a naïve comparison, so
+    any difference between their signals is due to the one instruction.
+    """
+    instructions: list[Instruction] = []
+    for _ in range(filler_iterations):
+        instructions.extend(pointer_update_instructions(POINTER_REGISTER_A, plan))
+    test = event.test_instruction(POINTER_REGISTER_A)
+    if test is not None:
+        instructions.append(test)
+    for _ in range(filler_iterations):
+        instructions.extend(pointer_update_instructions(POINTER_REGISTER_A, plan))
+    instructions.append(Instruction(Opcode.HALT))
+    return Program(instructions, name=f"fragment:{event.name}")
+
+
+def _fragment_waveform(
+    machine: CalibratedMachine, event: InstructionEvent, filler_iterations: int
+) -> tuple[np.ndarray, float]:
+    """Noiseless composite antenna waveform of one fragment (V, cycle rate)."""
+    core = machine.make_core()
+    plan = plan_sweep_for_core(core, event)
+    program = build_single_event_fragment(event, plan, filler_iterations)
+    prime_for_sweep(core.hierarchy, plan, is_write=event.is_store)
+    core.registers[POINTER_REGISTER_A] = plan.base
+    core.registers["eax"] = 173
+    result = core.run(program, warm_hierarchy=True)
+    modes = machine.coupling.project_trace(result.trace)
+    # The scope digitizes one composite channel; sum the field modes
+    # coherently (a single-antenna capture cannot separate them).
+    return modes.sum(axis=0), core.clock_hz
+
+
+def _difference_energy_zj(
+    waveform_a: np.ndarray,
+    waveform_b: np.ndarray,
+    sample_rate_hz: float,
+) -> float:
+    """Integrated squared difference between two captures, in zJ."""
+    length = min(len(waveform_a), len(waveform_b))
+    difference = waveform_a[:length] - waveform_b[:length]
+    energy_j = float(np.sum(difference**2) / REFERENCE_IMPEDANCE / sample_rate_hz)
+    return energy_j / ZEPTOJOULE
+
+
+def naive_measurement(
+    machine: CalibratedMachine,
+    event_a: InstructionEvent | str,
+    event_b: InstructionEvent | str,
+    scope: Oscilloscope,
+    rng: np.random.Generator,
+    filler_iterations: int = 24,
+) -> float:
+    """One naïve A-vs-B estimate (zJ) using the scope model.
+
+    Captures each fragment once (independent noise and trigger jitter),
+    aligns them nominally, and integrates the squared difference.
+    """
+    if isinstance(event_a, str):
+        event_a = get_event(event_a)
+    if isinstance(event_b, str):
+        event_b = get_event(event_b)
+    waveform_a, clock_hz = _fragment_waveform(machine, event_a, filler_iterations)
+    waveform_b, _clock = _fragment_waveform(machine, event_b, filler_iterations)
+    capture_a = scope.capture(waveform_a, clock_hz, rng)
+    capture_b = scope.capture(waveform_b, clock_hz, rng)
+    return _difference_energy_zj(capture_a.samples, capture_b.samples, scope.sample_rate_hz)
+
+
+def noiseless_subtraction_energy(
+    machine: CalibratedMachine,
+    event_a: InstructionEvent | str,
+    event_b: InstructionEvent | str,
+    filler_iterations: int = 24,
+) -> float:
+    """The naïve method's answer with a perfect instrument (zJ).
+
+    Full-rate, noise-free, exactly triggered subtraction of the two
+    fragments.  For events of unequal latency this is dominated by the
+    paper's misalignment failure — "a portion of A's execution is
+    compared to unrelated processor activity in the signal containing
+    B" — and wildly overestimates the single-instruction difference.
+    """
+    if isinstance(event_a, str):
+        event_a = get_event(event_a)
+    if isinstance(event_b, str):
+        event_b = get_event(event_b)
+    waveform_a, clock_hz = _fragment_waveform(machine, event_a, filler_iterations)
+    waveform_b, _clock = _fragment_waveform(machine, event_b, filler_iterations)
+    return _difference_energy_zj(waveform_a, waveform_b, clock_hz)
+
+
+def compare_methodologies(
+    machine: CalibratedMachine,
+    event_a: InstructionEvent | str,
+    event_b: InstructionEvent | str,
+    trials: int = 10,
+    scope: Oscilloscope | None = None,
+    seed: int = 0,
+    filler_iterations: int = 24,
+) -> NaiveComparison:
+    """Run both methodologies ``trials`` times and compare their errors.
+
+    The alternation estimates come from :func:`repro.core.savat.measure_savat`
+    with per-trial noise; the naïve estimates from scope captures with
+    the paper's 0.5%-of-range vertical error.  The scope defaults to a
+    flagship 40 GS/s digitizer — the naïve method loses even with the
+    best instrument money can buy.
+    """
+    from repro.core.savat import MeasurementConfig, _plan_pair, measure_savat, \
+        simulate_alternation_period
+
+    if trials < 1:
+        raise MeasurementError(f"need at least one trial, got {trials}")
+    if isinstance(event_a, str):
+        event_a = get_event(event_a)
+    if isinstance(event_b, str):
+        event_b = get_event(event_b)
+    scope = scope or Oscilloscope(sample_rate_hz=40e9, trigger_jitter_s=0.2e-9)
+    rng = np.random.default_rng(seed)
+
+    noiseless = noiseless_subtraction_energy(
+        machine, event_a, event_b, filler_iterations
+    )
+
+    naive = np.array(
+        [
+            naive_measurement(machine, event_a, event_b, scope, rng, filler_iterations)
+            for _ in range(trials)
+        ]
+    )
+
+    config = MeasurementConfig()
+    plan = _plan_pair(machine, event_a, event_b, config.alternation_frequency_hz)
+    trace, plan = simulate_alternation_period(machine, plan)
+    # Ground truth: the deterministic (noise-free) SAVAT — the quantity
+    # both methodologies are estimating.
+    truth = measure_savat(
+        machine, event_a, event_b, config=config, rng=None, trace=trace, plan=plan
+    ).savat_zj
+    alternation = np.array(
+        [
+            measure_savat(
+                machine, event_a, event_b, config=config, rng=rng, trace=trace, plan=plan
+            ).savat_zj
+            for _ in range(trials)
+        ]
+    )
+
+    return NaiveComparison(
+        event_a=event_a.name,
+        event_b=event_b.name,
+        true_difference_zj=truth,
+        noiseless_subtraction_zj=noiseless,
+        naive_estimates_zj=naive,
+        alternation_estimates_zj=alternation,
+    )

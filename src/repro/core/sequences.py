@@ -1,0 +1,211 @@
+"""Sequence-level SAVAT: measurement and the additive estimate.
+
+Section III ("combination"): sensitive data often selects between whole
+*sequences* of instructions, not single ones.  Measuring every sequence
+pair is combinatorially hopeless (O(N^4) already for length-2), so the
+paper suggests the sum of single-instruction SAVATs as an estimate,
+while cautioning that reordering and overlap make it imprecise.
+
+This module provides both sides of that story:
+
+* :func:`measure_sequence_savat` generalizes the alternation kernel so
+  each test slot holds an entire event sequence — the "use those entire
+  sequences as A/B activity" measurement the paper describes;
+* :func:`estimate_sequence_savat` computes the additive estimate from a
+  measured pairwise matrix, so the two can be compared (see the
+  ``test_ablation_sequences`` benchmark).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codegen.alternation import (
+    LOOP_REGISTER,
+    POINTER_REGISTER_A,
+    POINTER_REGISTER_B,
+    pointer_update_instructions,
+)
+from repro.codegen.pointers import (
+    BASE_ADDRESS_A,
+    BASE_ADDRESS_B,
+    plan_sweep,
+    prime_for_sweep,
+)
+from repro.core.matrix import SavatMatrix
+from repro.errors import ConfigurationError, MeasurementError
+from repro.isa.events import InstructionEvent, get_event
+from repro.isa.instructions import Instruction, Opcode, imm, reg
+from repro.isa.program import Program
+from repro.machines.calibrated import CalibratedMachine
+from repro.em.coupling import band_power_from_modes, fourier_coefficient
+from repro.units import REFERENCE_IMPEDANCE, ZEPTOJOULE
+
+
+@dataclass
+class SequenceSavatResult:
+    """Measured vs estimated SAVAT for one sequence pairing (zJ)."""
+
+    sequence_a: tuple[str, ...]
+    sequence_b: tuple[str, ...]
+    measured_zj: float
+    pairs_per_second: float
+
+
+def _resolve(sequence: Sequence[InstructionEvent | str]) -> list[InstructionEvent]:
+    resolved = [get_event(item) if isinstance(item, str) else item for item in sequence]
+    if not resolved:
+        raise ConfigurationError("sequence must contain at least one event")
+    return resolved
+
+
+def estimate_sequence_savat(
+    matrix: SavatMatrix,
+    sequence_a: Sequence[str],
+    sequence_b: Sequence[str],
+) -> float:
+    """Additive estimate: sum of aligned single-instruction SAVATs (zJ).
+
+    Sequences of unequal length are aligned by padding the shorter with
+    NOI (a missing instruction *is* the NOI event).  The estimate
+    subtracts the matrix floor per aligned pair so that identical
+    positions contribute nothing, then adds one floor back (a real
+    measurement always pays the floor once).
+    """
+    list_a = [name.upper() for name in sequence_a]
+    list_b = [name.upper() for name in sequence_b]
+    length = max(len(list_a), len(list_b))
+    list_a += ["NOI"] * (length - len(list_a))
+    list_b += ["NOI"] * (length - len(list_b))
+    floor = float(np.diag(matrix.symmetrized()).mean())
+    total = floor
+    for name_a, name_b in zip(list_a, list_b):
+        if name_a == name_b:
+            continue
+        total += max(matrix.cell(name_a, name_b) - floor, 0.0)
+    return total
+
+
+def build_sequence_half(
+    events: list[InstructionEvent],
+    inst_loop_count: int,
+    plan,
+    pointer_register: str,
+    tag: str,
+) -> Program:
+    """One alternation half whose test slot holds a whole sequence."""
+    loop_label = f"{tag}_loop"
+    instructions: list[Instruction] = [
+        Instruction(Opcode.MOV, dest=reg(LOOP_REGISTER), src=imm(inst_loop_count)),
+    ]
+    body = pointer_update_instructions(pointer_register, plan)
+    first = body[0]
+    instructions.append(
+        Instruction(first.opcode, dest=first.dest, src=first.src, label=loop_label)
+    )
+    instructions.extend(body[1:])
+    for event in events:
+        test = event.test_instruction(pointer_register)
+        if test is not None:
+            instructions.append(test)
+    instructions.append(Instruction(Opcode.DEC, dest=reg(LOOP_REGISTER)))
+    instructions.append(Instruction(Opcode.JNZ, target=loop_label))
+    return Program(instructions, name=f"{tag}:seq")
+
+
+def _sequence_footprint_plan(events: list[InstructionEvent], core, base: int):
+    """Sweep plan for a sequence half: sized by its largest-footprint event."""
+    ranking = {"none": 0, "l1": 1, "l2": 2, "memory": 3}
+    widest = max(events, key=lambda event: ranking[event.footprint.value])
+    return plan_sweep(widest, core.hierarchy.l1_geometry, core.hierarchy.l2_geometry, base)
+
+
+def measure_sequence_savat(
+    machine: CalibratedMachine,
+    sequence_a: Sequence[InstructionEvent | str],
+    sequence_b: Sequence[InstructionEvent | str],
+    alternation_frequency_hz: float = 80e3,
+    rng: np.random.Generator | None = None,
+    loop_noise_fraction: float = 0.05,
+) -> SequenceSavatResult:
+    """Measure SAVAT between two instruction *sequences* (zJ per pair).
+
+    Uses the same alternation methodology with sequences in the test
+    slots.  Within each half all memory events share that half's sweep
+    pointer (each iteration advances it once), so sequences mixing
+    different footprint classes sweep the widest class — document this
+    when designing experiments.
+    """
+    events_a = _resolve(sequence_a)
+    events_b = _resolve(sequence_b)
+    core = machine.make_core()
+
+    plan_a = _sequence_footprint_plan(events_a, core, BASE_ADDRESS_A)
+    plan_b = _sequence_footprint_plan(events_b, core, BASE_ADDRESS_B)
+
+    # Estimate per-iteration cost with a quick probe run of each half.
+    def _probe_cycles(events, plan, pointer_register) -> float:
+        probe_core = machine.make_core()
+        iterations = 32
+        half = build_sequence_half(events, iterations, plan, pointer_register, "probe")
+        program = Program(
+            list(half.instructions) + [Instruction(Opcode.HALT)], name="probe:seq"
+        )
+        is_store = any(event.is_store for event in events)
+        prime_for_sweep(probe_core.hierarchy, plan, is_write=is_store)
+        probe_core.registers[pointer_register] = plan.base
+        probe_core.registers["eax"] = 173
+        result = probe_core.run(program, warm_hierarchy=True)
+        return max(result.cycles - 1, iterations) / iterations
+
+    cpi_a = _probe_cycles(events_a, plan_a, POINTER_REGISTER_A)
+    cpi_b = _probe_cycles(events_b, plan_b, POINTER_REGISTER_B)
+    period_cycles = core.clock_hz / alternation_frequency_hz
+    inst_loop_count = max(round(period_cycles / (cpi_a + cpi_b)), 1)
+    if inst_loop_count < 1:
+        raise MeasurementError("sequences too slow for the requested frequency")
+
+    half_a = build_sequence_half(events_a, inst_loop_count, plan_a, POINTER_REGISTER_A, "a")
+    half_b = build_sequence_half(events_b, inst_loop_count, plan_b, POINTER_REGISTER_B, "b")
+    program = Program(
+        list(half_a.instructions) + list(half_b.instructions) + [Instruction(Opcode.HALT)],
+        name="sequence alternation",
+    )
+
+
+    prime_for_sweep(
+        core.hierarchy, plan_a, is_write=any(event.is_store for event in events_a)
+    )
+    prime_for_sweep(
+        core.hierarchy,
+        plan_b,
+        is_write=any(event.is_store for event in events_b),
+        reset=False,
+    )
+    core.registers[POINTER_REGISTER_A] = plan_a.base
+    core.registers[POINTER_REGISTER_B] = plan_b.base
+    core.registers["eax"] = 173
+    core.run(program, warm_hierarchy=True)  # warm-up period
+    result = core.run(program, warm_hierarchy=True)
+    trace = result.trace
+
+    waveform = machine.coupling.project_trace(trace)
+    coefficients = fourier_coefficient(waveform)
+    signal_power = band_power_from_modes(coefficients, REFERENCE_IMPEDANCE)
+    achieved_frequency = core.clock_hz / trace.num_cycles
+    pairs_per_second = inst_loop_count * achieved_frequency
+
+    loop_factor = 1.0
+    if rng is not None and loop_noise_fraction > 0:
+        loop_factor = max(1.0 + rng.normal(0.0, loop_noise_fraction), 0.0)
+    savat_zj = signal_power * loop_factor / pairs_per_second / ZEPTOJOULE
+
+    return SequenceSavatResult(
+        sequence_a=tuple(event.name for event in events_a),
+        sequence_b=tuple(event.name for event in events_b),
+        measured_zj=savat_zj,
+        pairs_per_second=pairs_per_second,
+    )

@@ -1,0 +1,77 @@
+"""Single-instruction SAVAT (Section II).
+
+The paper defines the single-instruction SAVAT as "the maximum of the
+pairwise SAVATs where both events in the pair are generated using the
+same instruction" — e.g. the SAVAT of a load instruction is the max over
+LDM/LDM, LDM/LDL2, LDM/LDL1, LDL2/LDL1, ... pairings, because those are
+the behaviours a single ``mov eax,[esi]`` can exhibit depending on data
+(and therefore the signal it can leak when data decides which happens).
+"""
+
+from __future__ import annotations
+
+from repro.core.matrix import SavatMatrix
+from repro.errors import ConfigurationError
+
+#: Which paper events each x86 instruction can generate (Figure 5): the
+#: same load serves LDM/LDL2/LDL1 depending on where the data lives.
+INSTRUCTION_EVENT_GROUPS: dict[str, tuple[str, ...]] = {
+    "load (mov eax,[esi])": ("LDM", "LDL2", "LDL1"),
+    "store (mov [esi],imm)": ("STM", "STL2", "STL1"),
+    "add": ("ADD",),
+    "sub": ("SUB",),
+    "imul": ("MUL",),
+    "idiv": ("DIV",),
+    "none": ("NOI",),
+}
+
+
+def single_instruction_savat(
+    matrix: SavatMatrix,
+    groups: dict[str, tuple[str, ...]] | None = None,
+) -> dict[str, float]:
+    """Per-instruction SAVAT (zJ): max over same-instruction pairings.
+
+    Parameters
+    ----------
+    matrix:
+        A measured (or reference-wrapped) SAVAT matrix.
+    groups:
+        Mapping from instruction label to the events it can generate;
+        defaults to the paper's Figure 5 grouping.
+
+    Returns
+    -------
+    dict
+        Instruction label -> single-instruction SAVAT in zJ.
+
+    Raises
+    ------
+    ConfigurationError
+        If a group references an event absent from the matrix.
+    """
+    groups = groups or INSTRUCTION_EVENT_GROUPS
+    result: dict[str, float] = {}
+    for label, events in groups.items():
+        if not events:
+            raise ConfigurationError(f"instruction group {label!r} is empty")
+        best = 0.0
+        for event_a in events:
+            for event_b in events:
+                best = max(best, matrix.cell(event_a, event_b))
+        result[label] = best
+    return result
+
+
+def most_leaky_instructions(
+    matrix: SavatMatrix,
+    groups: dict[str, tuple[str, ...]] | None = None,
+) -> list[tuple[str, float]]:
+    """Instructions ranked by single-instruction SAVAT, loudest first.
+
+    This is the ranking a programmer or compiler would consult when
+    deciding which data-dependent instructions most urgently need
+    constant-behaviour rewrites.
+    """
+    values = single_instruction_savat(matrix, groups)
+    return sorted(values.items(), key=lambda item: item[1], reverse=True)

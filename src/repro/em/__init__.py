@@ -1,0 +1,55 @@
+"""EM emanation physics: couplings, propagation, antenna, noise, synthesis."""
+
+from repro.em.antenna import LoopAntenna
+from repro.em.coupling import (
+    CouplingMatrix,
+    DEFAULT_NUM_MODES,
+    band_power_from_modes,
+    fourier_coefficient,
+)
+from repro.em.environment import (
+    DEFAULT_INSTRUMENT_FLOOR_W_PER_HZ,
+    NoiseEnvironment,
+    RadioInterferer,
+    quiet_lab_environment,
+)
+from repro.em.propagation import (
+    FAR_FIELD_POWER_EXPONENT,
+    NEAR_FIELD_POWER_EXPONENT,
+    NearFarModel,
+    REFERENCE_DISTANCE_M,
+    fit_near_far,
+    interpolate_matrix,
+)
+from repro.em.synthesis import (
+    DEFAULT_ENVELOPE_SAMPLES,
+    DEFAULT_OVERSAMPLING,
+    JitterModel,
+    SynthesizedSignal,
+    period_envelope,
+    synthesize_measurement,
+)
+
+__all__ = [
+    "CouplingMatrix",
+    "DEFAULT_ENVELOPE_SAMPLES",
+    "DEFAULT_INSTRUMENT_FLOOR_W_PER_HZ",
+    "DEFAULT_NUM_MODES",
+    "DEFAULT_OVERSAMPLING",
+    "FAR_FIELD_POWER_EXPONENT",
+    "JitterModel",
+    "LoopAntenna",
+    "NEAR_FIELD_POWER_EXPONENT",
+    "NearFarModel",
+    "NoiseEnvironment",
+    "REFERENCE_DISTANCE_M",
+    "RadioInterferer",
+    "SynthesizedSignal",
+    "band_power_from_modes",
+    "fit_near_far",
+    "fourier_coefficient",
+    "interpolate_matrix",
+    "period_envelope",
+    "quiet_lab_environment",
+    "synthesize_measurement",
+]

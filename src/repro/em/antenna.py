@@ -1,0 +1,64 @@
+"""Receive antenna model.
+
+The paper measures with an AOR LA400 magnetic loop antenna feeding an
+Agilent MXA N9020A spectrum analyzer.  For this reproduction the antenna
+contributes (1) a frequency-independent effective gain over the narrow
+measurement band — absorbed into the calibrated coupling scale — and
+(2) a bandpass character that suppresses signals far outside its tuned
+range.  The model is deliberately simple: the measurement band is only
+2 kHz wide around 80 kHz, where a loop antenna's response is flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LoopAntenna:
+    """A magnetic loop antenna with a flat in-band response.
+
+    Attributes
+    ----------
+    name:
+        Model name, for reports.
+    gain:
+        Voltage gain applied to in-band signals (dimensionless; the
+        calibrated couplings already include the nominal gain, so this
+        is 1.0 unless a user explicitly models a different antenna).
+    low_cutoff_hz, high_cutoff_hz:
+        Band edges outside which the response rolls off; used only for
+        validation that a requested measurement is in-band.
+    """
+
+    name: str = "AOR LA400"
+    gain: float = 1.0
+    low_cutoff_hz: float = 10e3
+    high_cutoff_hz: float = 500e6
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ConfigurationError(f"antenna gain must be positive, got {self.gain}")
+        if not 0 < self.low_cutoff_hz < self.high_cutoff_hz:
+            raise ConfigurationError(
+                f"invalid antenna band [{self.low_cutoff_hz}, {self.high_cutoff_hz}] Hz"
+            )
+
+    def in_band(self, frequency_hz: float) -> bool:
+        """Whether ``frequency_hz`` lies inside the antenna's flat band."""
+        return self.low_cutoff_hz <= frequency_hz <= self.high_cutoff_hz
+
+    def response(self, frequency_hz: float) -> float:
+        """Voltage response at ``frequency_hz``.
+
+        Flat ``gain`` in band; a gentle first-order roll-off outside.
+        """
+        if frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {frequency_hz}")
+        if self.in_band(frequency_hz):
+            return self.gain
+        if frequency_hz < self.low_cutoff_hz:
+            return self.gain * frequency_hz / self.low_cutoff_hz
+        return self.gain * self.high_cutoff_hz / frequency_hz

@@ -1,0 +1,119 @@
+"""Component-to-antenna coupling model.
+
+Physical picture.  Switching activity on a microarchitectural component
+modulates currents that ride on a handful of strong periodic carriers
+(clock harmonics, bus clocks, VRM switching).  The attacker's antenna
+receives each carrier with a strength and field structure that depend on
+the component's physical layout and distance; a spectrum analyzer then
+sums the *powers* of these incoherent carriers' modulation sidebands.
+
+We model this with a small number of **field modes**: mode ``m`` sees a
+weighted sum of component activities, ``v_m(t) = sum_c W[m, c] a_c(t)``
+(volts at the instrument input), and measured band power adds across
+modes.  Two or more modes are what let LDM and LDL2 both sit "far from"
+ADD while also being far from *each other* — the paper's observation
+that the LDM and LDL2 fields are distinguishable even though each is
+about equally distinguishable from an ADD (Section V-A).
+
+The numeric weights come from calibration against the paper's published
+matrices (:mod:`repro.machines.calibration`); this module defines the
+value objects and the projection math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.uarch.activity import ActivityTrace
+from repro.uarch.components import NUM_COMPONENTS
+
+#: Default number of field modes used by calibration.  Three modes give
+#: the reference matrices a faithful low-rank embedding while keeping
+#: the "incoherent carriers" story physically plausible.
+DEFAULT_NUM_MODES = 3
+
+
+@dataclass(frozen=True)
+class CouplingMatrix:
+    """Per-mode, per-component coupling weights (volts per activity unit).
+
+    Attributes
+    ----------
+    weights:
+        Array of shape ``(num_modes, NUM_COMPONENTS)``.
+    distance_m:
+        Antenna distance this coupling set applies to.
+    """
+
+    weights: np.ndarray
+    distance_m: float
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        if weights.ndim != 2 or weights.shape[1] != NUM_COMPONENTS:
+            raise ConfigurationError(
+                f"coupling weights must have shape (M, {NUM_COMPONENTS}), "
+                f"got {weights.shape}"
+            )
+        if self.distance_m <= 0:
+            raise ConfigurationError(f"distance must be positive, got {self.distance_m}")
+        object.__setattr__(self, "weights", weights)
+
+    @property
+    def num_modes(self) -> int:
+        """Number of field modes."""
+        return self.weights.shape[0]
+
+    def project_trace(self, trace: ActivityTrace) -> np.ndarray:
+        """Per-mode antenna waveform for an activity trace.
+
+        Returns an array of shape ``(num_modes, num_cycles)`` in volts.
+        """
+        return trace.project(self.weights)
+
+    def project_rates(self, rates: np.ndarray) -> np.ndarray:
+        """Per-mode signal level for a mean activity-rate vector.
+
+        ``rates`` has length ``NUM_COMPONENTS``; the result has length
+        ``num_modes``.  Used by the fast analytic measurement path.
+        """
+        rates = np.asarray(rates, dtype=np.float64)
+        if rates.shape != (NUM_COMPONENTS,):
+            raise ConfigurationError(
+                f"rate vector must have shape ({NUM_COMPONENTS},), got {rates.shape}"
+            )
+        return self.weights @ rates
+
+    def scaled(self, factors: np.ndarray | float) -> "CouplingMatrix":
+        """A new coupling set with per-component (or global) scaling."""
+        return CouplingMatrix(self.weights * factors, self.distance_m)
+
+
+def fourier_coefficient(waveform: np.ndarray, harmonic: int = 1) -> np.ndarray:
+    """Complex Fourier coefficient(s) of periodic waveform(s).
+
+    For a waveform ``x`` of length ``T`` (one full period), returns
+    ``c_k = (1/T) * sum_t x[t] * exp(-2*pi*i*k*t/T)``, the amplitude of
+    the ``k``-th harmonic (a pure cosine ``A*cos`` has ``|c_1| = A/2``).
+    Accepts 1-D ``(T,)`` or 2-D ``(M, T)`` input; returns a scalar or a
+    length-M vector accordingly.
+    """
+    waveform = np.asarray(waveform, dtype=np.float64)
+    length = waveform.shape[-1]
+    if length == 0:
+        raise ConfigurationError("cannot take a Fourier coefficient of an empty waveform")
+    phase = np.exp(-2j * np.pi * harmonic * np.arange(length) / length)
+    return (waveform * phase).sum(axis=-1) / length
+
+
+def band_power_from_modes(mode_coefficients: np.ndarray, impedance: float = 50.0) -> float:
+    """Total sideband power (W) from per-mode Fourier coefficients.
+
+    Each mode contributes ``2*|c1|^2 / R`` (the two-sided spectral lines
+    of a real sinusoid of amplitude ``2*|c1|``); modes add incoherently.
+    """
+    coefficients = np.atleast_1d(np.asarray(mode_coefficients))
+    return float(2.0 * np.sum(np.abs(coefficients) ** 2) / impedance)

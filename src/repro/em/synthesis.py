@@ -1,0 +1,178 @@
+"""Time-domain synthesis of the received EM signal.
+
+The measurement methodology's signal is periodic at the alternation
+frequency, but — as Figure 7 shows — the real alternation frequency is
+shifted from the intended one and *drifts* during the measurement
+(OS interference, DVFS, timer activity), dispersing the received power
+over tens to hundreds of hertz.  Synthesis therefore tiles the simulated
+one-period activity envelope over the measurement interval with a
+per-period jitter/drift model, producing per-mode voltage sample streams
+that the spectrum-analyzer model then digests exactly like a real
+instrument would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.em.coupling import CouplingMatrix
+from repro.uarch.activity import ActivityTrace
+
+#: Default number of envelope samples per alternation period.
+DEFAULT_ENVELOPE_SAMPLES = 64
+
+#: Default sample rate as a multiple of the alternation frequency.
+DEFAULT_OVERSAMPLING = 32
+
+
+@dataclass(frozen=True)
+class JitterModel:
+    """Per-period timing imperfection of the alternation loop.
+
+    Attributes
+    ----------
+    period_sigma:
+        Standard deviation of independent per-period duration error, as
+        a fraction of the nominal period (fast jitter — spreads power
+        into a pedestal around the carrier).
+    drift_sigma:
+        Per-period step of a random walk in the duration multiplier
+        (slow drift — wanders the instantaneous alternation frequency,
+        the "frequency dispersion" annotation of Figure 7).  The default
+        wanders a ~0.5 s capture by a few hundred hertz at 80 kHz,
+        matching the dispersion the paper shows.
+    """
+
+    period_sigma: float = 2e-3
+    drift_sigma: float = 1.5e-5
+
+    def __post_init__(self) -> None:
+        if self.period_sigma < 0 or self.drift_sigma < 0:
+            raise ConfigurationError("jitter sigmas must be non-negative")
+
+    def period_multipliers(self, num_periods: int, rng: np.random.Generator) -> np.ndarray:
+        """Duration multiplier for each of ``num_periods`` periods."""
+        if num_periods <= 0:
+            raise ConfigurationError(f"num_periods must be positive, got {num_periods}")
+        multipliers = np.ones(num_periods)
+        if self.drift_sigma > 0:
+            multipliers += np.cumsum(rng.normal(0.0, self.drift_sigma, num_periods))
+        if self.period_sigma > 0:
+            multipliers += rng.normal(0.0, self.period_sigma, num_periods)
+        return np.clip(multipliers, 0.5, 1.5)
+
+
+@dataclass
+class SynthesizedSignal:
+    """Per-mode voltage streams covering one measurement interval.
+
+    ``samples`` has shape ``(num_modes, num_samples)``; the spectrum
+    analyzer sums mode powers (incoherent carriers — see
+    :mod:`repro.em.coupling`).
+    """
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    nominal_frequency_hz: float
+
+    @property
+    def num_modes(self) -> int:
+        return self.samples.shape[0]
+
+    @property
+    def num_samples(self) -> int:
+        return self.samples.shape[1]
+
+    @property
+    def duration_s(self) -> float:
+        return self.num_samples / self.sample_rate_hz
+
+
+def period_envelope(
+    trace: ActivityTrace,
+    couplings: CouplingMatrix,
+    envelope_samples: int = DEFAULT_ENVELOPE_SAMPLES,
+) -> np.ndarray:
+    """Collapse a one-period activity trace to a per-mode envelope.
+
+    Returns shape ``(num_modes, P)`` where ``P <= envelope_samples``:
+    the cycle-resolution trace is block-averaged, then projected through
+    the couplings.  Block-averaging is the physical statement that the
+    antenna/analyzer chain cannot follow single-cycle structure at these
+    measurement frequencies — only the activity *envelope* matters.
+    """
+    if envelope_samples < 4:
+        raise ConfigurationError(f"need >= 4 envelope samples, got {envelope_samples}")
+    factor = max(-(-trace.num_cycles // envelope_samples), 1)
+    coarse = trace.downsample(factor)
+    return couplings.project_trace(coarse)
+
+
+def synthesize_measurement(
+    trace: ActivityTrace,
+    couplings: CouplingMatrix,
+    duration_s: float,
+    rng: np.random.Generator,
+    jitter: JitterModel | None = None,
+    sample_rate_hz: float | None = None,
+    envelope_samples: int = DEFAULT_ENVELOPE_SAMPLES,
+) -> SynthesizedSignal:
+    """Tile one alternation period into a full measurement interval.
+
+    Parameters
+    ----------
+    trace:
+        Activity trace of exactly one alternation period.
+    couplings:
+        Component-to-antenna couplings for the measured distance.
+    duration_s:
+        Measurement length; 1 s supports the paper's 1 Hz RBW.
+    rng:
+        Randomness source for the jitter model.
+    jitter:
+        Timing imperfection model (default: :class:`JitterModel`).
+    sample_rate_hz:
+        Output sample rate; defaults to 32x the alternation frequency,
+        high enough that envelope-step harmonics alias nowhere near the
+        measurement band.
+    envelope_samples:
+        Per-period envelope resolution.
+
+    Raises
+    ------
+    MeasurementError
+        If the duration is non-positive.
+    """
+    if duration_s <= 0:
+        raise MeasurementError(f"measurement duration must be positive, got {duration_s}")
+    jitter = jitter or JitterModel()
+    nominal_period_s = trace.duration_s
+    nominal_frequency = 1.0 / nominal_period_s
+    if sample_rate_hz is None:
+        sample_rate_hz = DEFAULT_OVERSAMPLING * nominal_frequency
+
+    envelope = period_envelope(trace, couplings, envelope_samples)
+    num_modes, points_per_period = envelope.shape
+
+    # Generate enough jittered periods to cover the interval.
+    num_periods = int(np.ceil(duration_s / nominal_period_s * 1.1)) + 4
+    multipliers = jitter.period_multipliers(num_periods, rng)
+    durations = nominal_period_s * multipliers
+    starts = np.concatenate(([0.0], np.cumsum(durations)))
+
+    num_samples = int(round(duration_s * sample_rate_hz))
+    times = np.arange(num_samples) / sample_rate_hz
+    period_index = np.searchsorted(starts, times, side="right") - 1
+    period_index = np.clip(period_index, 0, num_periods - 1)
+    phase = (times - starts[period_index]) / durations[period_index]
+    envelope_index = np.clip((phase * points_per_period).astype(np.int64), 0, points_per_period - 1)
+
+    samples = envelope[:, envelope_index]
+    return SynthesizedSignal(
+        samples=samples,
+        sample_rate_hz=float(sample_rate_hz),
+        nominal_frequency_hz=nominal_frequency,
+    )

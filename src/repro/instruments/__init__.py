@@ -1,0 +1,23 @@
+"""Instrument models: spectrum analyzer, oscilloscope, DSP helpers."""
+
+from repro.instruments.oscilloscope import Oscilloscope, ScopeCapture
+from repro.instruments.signal_processing import (
+    band_power,
+    hann_window,
+    peak_frequency,
+    periodogram_psd,
+    welch_psd,
+)
+from repro.instruments.spectrum_analyzer import Spectrum, SpectrumAnalyzer
+
+__all__ = [
+    "Oscilloscope",
+    "ScopeCapture",
+    "Spectrum",
+    "SpectrumAnalyzer",
+    "band_power",
+    "hann_window",
+    "peak_frequency",
+    "periodogram_psd",
+    "welch_psd",
+]

@@ -1,0 +1,111 @@
+"""Real-time oscilloscope model for the naïve methodology (Figure 2).
+
+The paper's Section III argues that recording the A and B signals
+separately and subtracting them fails for three reasons:
+
+1. **Vertical error proportional to the signal.**  "Random measurement
+   error that averages 0.5% of the signal's range will make the two
+   overall curves have a total difference that is >5 times as large as
+   the actual difference."
+2. **Trigger/time misalignment** between the two captures.
+3. **Limited real-time sample rate** — "even the most sophisticated
+   (>$200,000) instruments provide only 10-20 samples per clock cycle",
+   and affordable ones far fewer.
+
+This model reproduces all three imperfections so the naïve-method
+experiment (:mod:`repro.core.naive`) can quantify them against the
+alternation methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass
+class ScopeCapture:
+    """Samples from one oscilloscope acquisition."""
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    trigger_offset_s: float
+
+    @property
+    def times_s(self) -> np.ndarray:
+        """Sample timestamps, including the trigger offset."""
+        return self.trigger_offset_s + np.arange(len(self.samples)) / self.sample_rate_hz
+
+
+@dataclass
+class Oscilloscope:
+    """A band-limited, noisy, trigger-jittered digitizer.
+
+    Attributes
+    ----------
+    sample_rate_hz:
+        Real-time sampling rate.  A 40 GS/s flagship scope gives ~17
+        samples per cycle on a 2.4 GHz core; cheaper instruments give
+        fewer than one.
+    vertical_noise_fraction:
+        RMS additive noise as a fraction of the captured signal's range
+        (the paper's 0.5% figure is the default).
+    trigger_jitter_s:
+        RMS mis-trigger between nominally aligned captures.
+    """
+
+    sample_rate_hz: float
+    vertical_noise_fraction: float = 0.005
+    trigger_jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise MeasurementError(f"sample rate must be positive, got {self.sample_rate_hz}")
+        if self.vertical_noise_fraction < 0:
+            raise MeasurementError(
+                f"vertical noise fraction must be non-negative, "
+                f"got {self.vertical_noise_fraction}"
+            )
+        if self.trigger_jitter_s < 0:
+            raise MeasurementError(
+                f"trigger jitter must be non-negative, got {self.trigger_jitter_s}"
+            )
+
+    def capture(
+        self,
+        waveform: np.ndarray,
+        waveform_rate_hz: float,
+        rng: np.random.Generator,
+    ) -> ScopeCapture:
+        """Digitize ``waveform`` (sampled at ``waveform_rate_hz``).
+
+        The scope resamples at its own (usually much lower) rate with
+        linear interpolation, applies a random trigger offset, and adds
+        vertical noise proportional to the signal range.
+        """
+        waveform = np.asarray(waveform, dtype=np.float64)
+        if waveform.ndim != 1 or len(waveform) < 2:
+            raise MeasurementError("scope input must be a 1-D waveform with >= 2 samples")
+        if waveform_rate_hz <= 0:
+            raise MeasurementError(f"waveform rate must be positive, got {waveform_rate_hz}")
+
+        duration = len(waveform) / waveform_rate_hz
+        trigger_offset = rng.normal(0.0, self.trigger_jitter_s) if self.trigger_jitter_s else 0.0
+        num_samples = max(int(duration * self.sample_rate_hz), 2)
+        sample_times = np.arange(num_samples) / self.sample_rate_hz + trigger_offset
+        source_times = np.arange(len(waveform)) / waveform_rate_hz
+        resampled = np.interp(sample_times, source_times, waveform)
+
+        signal_range = float(waveform.max() - waveform.min())
+        if self.vertical_noise_fraction > 0 and signal_range > 0:
+            resampled = resampled + rng.normal(
+                0.0, self.vertical_noise_fraction * signal_range, size=num_samples
+            )
+        return ScopeCapture(
+            samples=resampled,
+            sample_rate_hz=self.sample_rate_hz,
+            trigger_offset_s=trigger_offset,
+        )

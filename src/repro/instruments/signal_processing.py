@@ -1,0 +1,145 @@
+"""Spectral-estimation helpers shared by the instrument models.
+
+Everything works on voltage samples and produces one-sided power
+spectral densities in V^2/Hz; the instrument models convert to W/Hz at
+their reference impedance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Hann window of ``length`` samples."""
+    if length <= 0:
+        raise MeasurementError(f"window length must be positive, got {length}")
+    return np.hanning(length)
+
+
+def periodogram_psd(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    window: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided windowed periodogram PSD in V^2/Hz.
+
+    Accepts 1-D samples or 2-D ``(num_modes, num_samples)``; mode PSDs
+    add (incoherent carriers).
+
+    Returns
+    -------
+    (freqs, psd):
+        Frequencies in Hz and PSD in V^2/Hz, both length ``N//2 + 1``.
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+    num_samples = samples.shape[-1]
+    if num_samples < 2:
+        raise MeasurementError(f"need >= 2 samples for a PSD, got {num_samples}")
+    if sample_rate_hz <= 0:
+        raise MeasurementError(f"sample rate must be positive, got {sample_rate_hz}")
+    if window is None:
+        window = hann_window(num_samples)
+    if window.shape != (num_samples,):
+        raise MeasurementError(
+            f"window length {window.shape} does not match samples ({num_samples})"
+        )
+    # Remove per-mode DC so window leakage from the (large) DC level
+    # does not pollute the measurement band.
+    samples = samples - samples.mean(axis=-1, keepdims=True)
+    scale = 1.0 / (sample_rate_hz * np.sum(window**2))
+    spectrum = np.fft.rfft(samples * window, axis=-1)
+    psd = (np.abs(spectrum) ** 2).sum(axis=0) * scale
+    # One-sided correction: double everything except DC (and Nyquist for
+    # even lengths).
+    psd[1:] *= 2.0
+    if num_samples % 2 == 0:
+        psd[-1] /= 2.0
+    freqs = np.fft.rfftfreq(num_samples, d=1.0 / sample_rate_hz)
+    return freqs, psd
+
+
+def welch_psd(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    segment_length: int,
+    overlap: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Welch-averaged PSD with Hann windows.
+
+    ``segment_length`` sets the resolution bandwidth (RBW ~= fs /
+    segment_length for a Hann window, up to a shape factor of ~1.5).
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+    num_samples = samples.shape[-1]
+    if segment_length < 2:
+        raise MeasurementError(f"segment length must be >= 2, got {segment_length}")
+    if segment_length > num_samples:
+        raise MeasurementError(
+            f"segment length {segment_length} exceeds signal length {num_samples}"
+        )
+    if not 0.0 <= overlap < 1.0:
+        raise MeasurementError(f"overlap must be in [0, 1), got {overlap}")
+    step = max(int(segment_length * (1.0 - overlap)), 1)
+    window = hann_window(segment_length)
+    accumulated: np.ndarray | None = None
+    count = 0
+    for start in range(0, num_samples - segment_length + 1, step):
+        segment = samples[:, start : start + segment_length]
+        _freqs, psd = periodogram_psd(segment, sample_rate_hz, window=window)
+        accumulated = psd if accumulated is None else accumulated + psd
+        count += 1
+    assert accumulated is not None  # guaranteed by the length checks
+    freqs = np.fft.rfftfreq(segment_length, d=1.0 / sample_rate_hz)
+    return freqs, accumulated / count
+
+
+def band_power(
+    freqs: np.ndarray,
+    psd: np.ndarray,
+    f_center_hz: float,
+    half_width_hz: float,
+) -> float:
+    """Integrate a PSD over ``f_center +/- half_width`` (V^2 or W).
+
+    Raises
+    ------
+    MeasurementError
+        If the band does not overlap the PSD's frequency range.
+    """
+    freqs = np.asarray(freqs)
+    psd = np.asarray(psd)
+    if freqs.shape != psd.shape:
+        raise MeasurementError(f"freqs {freqs.shape} and psd {psd.shape} differ in shape")
+    if half_width_hz <= 0:
+        raise MeasurementError(f"band half-width must be positive, got {half_width_hz}")
+    mask = (freqs >= f_center_hz - half_width_hz) & (freqs <= f_center_hz + half_width_hz)
+    if not np.any(mask):
+        raise MeasurementError(
+            f"band {f_center_hz} +/- {half_width_hz} Hz lies outside the PSD range "
+            f"[{freqs[0]}, {freqs[-1]}] Hz"
+        )
+    df = float(freqs[1] - freqs[0]) if len(freqs) > 1 else 1.0
+    return float(psd[mask].sum() * df)
+
+
+def peak_frequency(
+    freqs: np.ndarray,
+    psd: np.ndarray,
+    f_low_hz: float | None = None,
+    f_high_hz: float | None = None,
+) -> float:
+    """Frequency of the strongest PSD bin, optionally within a range."""
+    freqs = np.asarray(freqs)
+    psd = np.asarray(psd)
+    mask = np.ones_like(freqs, dtype=bool)
+    if f_low_hz is not None:
+        mask &= freqs >= f_low_hz
+    if f_high_hz is not None:
+        mask &= freqs <= f_high_hz
+    if not np.any(mask):
+        raise MeasurementError("requested peak-search range contains no PSD bins")
+    selected = np.where(mask)[0]
+    return float(freqs[selected[np.argmax(psd[selected])]])

@@ -1,0 +1,142 @@
+"""Spectrum-analyzer model (the paper's Agilent MXA N9020A stand-in).
+
+The analyzer turns voltage samples into a W/Hz spectrum at a chosen
+resolution bandwidth, adds its own noise floor (and whatever external
+interference the environment contains), and integrates band power — the
+exact signal path Section IV describes: "the spectrum around the
+alternation frequency was recorded with a resolution bandwidth of 1 Hz
+... the measured value we use is the total received signal power in the
+frequency band from 1 kHz below to 1 kHz above the alternation
+frequency."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.em.environment import NoiseEnvironment
+from repro.em.synthesis import SynthesizedSignal
+from repro.instruments.signal_processing import band_power, peak_frequency, welch_psd
+from repro.units import REFERENCE_IMPEDANCE
+
+
+@dataclass
+class Spectrum:
+    """A recorded spectrum: frequencies (Hz) and PSD (W/Hz)."""
+
+    freqs_hz: np.ndarray
+    psd_w_per_hz: np.ndarray
+    rbw_hz: float
+
+    def __post_init__(self) -> None:
+        self.freqs_hz = np.asarray(self.freqs_hz, dtype=np.float64)
+        self.psd_w_per_hz = np.asarray(self.psd_w_per_hz, dtype=np.float64)
+        if self.freqs_hz.shape != self.psd_w_per_hz.shape:
+            raise MeasurementError("spectrum frequency and PSD arrays differ in shape")
+
+    def band_power_w(self, f_center_hz: float, half_width_hz: float) -> float:
+        """Total power (W) in ``f_center +/- half_width``."""
+        return band_power(self.freqs_hz, self.psd_w_per_hz, f_center_hz, half_width_hz)
+
+    def peak_hz(self, f_low_hz: float | None = None, f_high_hz: float | None = None) -> float:
+        """Frequency of the strongest bin, optionally within a range."""
+        return peak_frequency(self.freqs_hz, self.psd_w_per_hz, f_low_hz, f_high_hz)
+
+    def slice(self, f_low_hz: float, f_high_hz: float) -> "Spectrum":
+        """Sub-spectrum covering ``[f_low, f_high]`` (for plots/reports)."""
+        mask = (self.freqs_hz >= f_low_hz) & (self.freqs_hz <= f_high_hz)
+        if not np.any(mask):
+            raise MeasurementError(
+                f"slice [{f_low_hz}, {f_high_hz}] Hz is outside the recorded span"
+            )
+        return Spectrum(self.freqs_hz[mask], self.psd_w_per_hz[mask], self.rbw_hz)
+
+
+@dataclass
+class SpectrumAnalyzer:
+    """Welch-based spectrum analyzer with an additive noise floor.
+
+    Attributes
+    ----------
+    rbw_hz:
+        Resolution bandwidth.  Requires at least ``1/rbw`` seconds of
+        signal.
+    environment:
+        Noise environment whose floor and interferers are added to every
+        sweep.  ``None`` measures noiselessly (useful in unit tests).
+    impedance:
+        Input impedance used to convert V^2/Hz to W/Hz.
+    """
+
+    rbw_hz: float = 1.0
+    environment: NoiseEnvironment | None = None
+    impedance: float = REFERENCE_IMPEDANCE
+
+    def __post_init__(self) -> None:
+        if self.rbw_hz <= 0:
+            raise MeasurementError(f"resolution bandwidth must be positive, got {self.rbw_hz}")
+        if self.impedance <= 0:
+            raise MeasurementError(f"impedance must be positive, got {self.impedance}")
+
+    def measure(
+        self,
+        signal: SynthesizedSignal | np.ndarray,
+        sample_rate_hz: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> Spectrum:
+        """Record one spectrum sweep.
+
+        Parameters
+        ----------
+        signal:
+            A :class:`~repro.em.synthesis.SynthesizedSignal`, or raw
+            voltage samples (1-D, or 2-D mode-stacked) with
+            ``sample_rate_hz`` supplied.
+        rng:
+            Randomness for the noise-floor realization; without it the
+            expected (mean) noise PSD is added, making the sweep
+            deterministic.
+        """
+        if isinstance(signal, SynthesizedSignal):
+            samples = signal.samples
+            sample_rate_hz = signal.sample_rate_hz
+        else:
+            samples = np.asarray(signal, dtype=np.float64)
+            if sample_rate_hz is None:
+                raise MeasurementError("sample_rate_hz is required for raw sample input")
+
+        segment_length = int(round(sample_rate_hz / self.rbw_hz))
+        num_samples = np.atleast_2d(samples).shape[-1]
+        if segment_length > num_samples:
+            raise MeasurementError(
+                f"RBW {self.rbw_hz} Hz needs {segment_length} samples "
+                f"({segment_length / sample_rate_hz:.3f} s) but only "
+                f"{num_samples} were captured"
+            )
+        freqs, psd_v2 = welch_psd(samples, sample_rate_hz, segment_length)
+        psd_w = psd_v2 / self.impedance
+        psd_w = psd_w + self._noise_psd(freqs, rng)
+        return Spectrum(freqs, psd_w, self.rbw_hz)
+
+    def _noise_psd(self, freqs: np.ndarray, rng: np.random.Generator | None) -> np.ndarray:
+        """Per-bin noise PSD contribution (W/Hz)."""
+        if self.environment is None:
+            return np.zeros_like(freqs)
+        floor = self.environment.total_floor_w_per_hz
+        if rng is not None:
+            noise = floor * rng.chisquare(2, size=freqs.shape) / 2.0
+        else:
+            noise = np.full_like(freqs, floor)
+        if len(freqs) > 1:
+            df = float(freqs[1] - freqs[0])
+            for interferer in self.environment.interferers:
+                low = interferer.frequency_hz - interferer.bandwidth_hz / 2.0
+                high = interferer.frequency_hz + interferer.bandwidth_hz / 2.0
+                mask = (freqs >= low) & (freqs <= high)
+                bins = int(mask.sum())
+                if bins:
+                    noise[mask] += interferer.power_w / (bins * df)
+        return noise

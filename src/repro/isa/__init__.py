@@ -1,0 +1,57 @@
+"""ISA model: instructions, the paper's eleven events, assembler, programs."""
+
+from repro.isa.assembler import assemble, parse_line, parse_operand
+from repro.isa.events import (
+    EVENT_ORDER,
+    EventKind,
+    Footprint,
+    InstructionEvent,
+    PAPER_EVENTS,
+    event_pairs,
+    get_event,
+)
+from repro.isa.instructions import (
+    ALU_OPCODES,
+    BRANCH_OPCODES,
+    Immediate,
+    Instruction,
+    MEMORY_OPCODES,
+    MemoryOperand,
+    Opcode,
+    Operand,
+    REGISTER_NAMES,
+    Register,
+    WORD_MASK,
+    imm,
+    mem,
+    reg,
+)
+from repro.isa.program import Program
+
+__all__ = [
+    "ALU_OPCODES",
+    "BRANCH_OPCODES",
+    "EVENT_ORDER",
+    "EventKind",
+    "Footprint",
+    "Immediate",
+    "Instruction",
+    "InstructionEvent",
+    "MEMORY_OPCODES",
+    "MemoryOperand",
+    "Opcode",
+    "Operand",
+    "PAPER_EVENTS",
+    "Program",
+    "REGISTER_NAMES",
+    "Register",
+    "WORD_MASK",
+    "assemble",
+    "event_pairs",
+    "get_event",
+    "imm",
+    "mem",
+    "parse_line",
+    "parse_operand",
+    "reg",
+]

@@ -1,0 +1,232 @@
+"""A tiny two-pass assembler for the x86-like subset.
+
+The measurement kernels are built programmatically (see
+:mod:`repro.codegen.alternation`), but an assembler keeps tests and
+examples close to the notation the paper uses ("``mov eax,[esi]``") and
+makes hand-written victim workloads — like the modular-exponentiation
+demo — much easier to read.
+
+Syntax
+------
+* one instruction per line; ``;`` or ``#`` starts a comment
+* ``label:`` prefixes (on their own line or before an instruction)
+* register operands: ``eax`` ... ``esp``
+* immediates: decimal or ``0x`` hexadecimal, optionally negative
+* memory operands: ``[base]``, ``[base+disp]``, ``[base+index*scale]``,
+  ``[base+index*scale+disp]``
+* ``mov`` with a memory source assembles to :data:`Opcode.LOAD`, with a
+  memory destination to :data:`Opcode.STORE`
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    Immediate,
+    Instruction,
+    MemoryOperand,
+    Opcode,
+    Operand,
+    REGISTER_NAMES,
+    Register,
+)
+from repro.isa.program import Program
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_][\w.]*)\s*:\s*(.*)$")
+_MEM_RE = re.compile(r"^\[(.+)\]$")
+_IMM_RE = re.compile(r"^-?(0[xX][0-9a-fA-F]+|\d+)$")
+
+#: Mnemonics that take zero operands.
+_ZERO_OPERAND = {"nop": Opcode.NOP, "halt": Opcode.HALT}
+
+#: Mnemonics that branch to a label.
+_BRANCHES = {"jmp": Opcode.JMP, "jnz": Opcode.JNZ, "jz": Opcode.JZ}
+
+#: Two-operand ALU-style mnemonics (destination, source).
+_TWO_OPERAND = {
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+    "and": Opcode.AND,
+    "or": Opcode.OR,
+    "xor": Opcode.XOR,
+    "shl": Opcode.SHL,
+    "shr": Opcode.SHR,
+    "imul": Opcode.IMUL,
+    "cmp": Opcode.CMP,
+    "test": Opcode.TEST,
+    "lea": Opcode.LEA,
+}
+
+#: One-operand mnemonics.
+_ONE_OPERAND = {"inc": Opcode.INC, "dec": Opcode.DEC, "idiv": Opcode.IDIV}
+
+
+def _parse_immediate(text: str) -> int:
+    match = _IMM_RE.match(text)
+    if match is None:
+        raise AssemblyError(f"invalid immediate {text!r}")
+    return int(text, 0)
+
+
+def _parse_memory(text: str) -> MemoryOperand:
+    inner = _MEM_RE.match(text)
+    if inner is None:
+        raise AssemblyError(f"invalid memory operand {text!r}")
+    base: Register | None = None
+    index: Register | None = None
+    scale = 1
+    displacement = 0
+    # Split on '+' while tolerating a leading '-' on the displacement.
+    for raw_term in inner.group(1).replace("-", "+-").split("+"):
+        term = raw_term.strip()
+        if not term:
+            continue
+        if "*" in term:
+            reg_text, _, scale_text = term.partition("*")
+            if index is not None:
+                raise AssemblyError(f"multiple index registers in {text!r}")
+            index = Register(reg_text.strip())
+            scale = _parse_immediate(scale_text.strip())
+        elif term.lstrip("-") in REGISTER_NAMES:
+            if base is None:
+                base = Register(term)
+            elif index is None:
+                index = Register(term)
+            else:
+                raise AssemblyError(f"too many registers in memory operand {text!r}")
+        else:
+            displacement += _parse_immediate(term)
+    return MemoryOperand(base=base, index=index, scale=scale, displacement=displacement)
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse a single operand: register, immediate, or memory reference."""
+    text = text.strip()
+    if not text:
+        raise AssemblyError("empty operand")
+    if text.startswith("["):
+        return _parse_memory(text)
+    if text in REGISTER_NAMES:
+        return Register(text)
+    return Immediate(_parse_immediate(text))
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas that are outside brackets."""
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current)
+    return [part.strip() for part in parts]
+
+
+def parse_line(line: str, label: str | None = None) -> Instruction | None:
+    """Assemble one source line into an :class:`Instruction`.
+
+    Returns ``None`` for blank/comment-only lines.  A leading label is
+    attached to the produced instruction; a label on an otherwise empty
+    line must be handled by the caller (see :func:`assemble`).
+    """
+    code = line.split(";")[0].split("#")[0].strip()
+    if not code:
+        return None
+    mnemonic, _, rest = code.partition(" ")
+    mnemonic = mnemonic.lower()
+    operands = _split_operands(rest) if rest.strip() else []
+
+    if mnemonic in _ZERO_OPERAND:
+        if operands:
+            raise AssemblyError(f"{mnemonic} takes no operands: {line!r}")
+        return Instruction(_ZERO_OPERAND[mnemonic], label=label)
+
+    if mnemonic in _BRANCHES:
+        if len(operands) != 1:
+            raise AssemblyError(f"{mnemonic} takes one label operand: {line!r}")
+        return Instruction(_BRANCHES[mnemonic], target=operands[0], label=label)
+
+    if mnemonic in _ONE_OPERAND:
+        if len(operands) != 1:
+            raise AssemblyError(f"{mnemonic} takes one operand: {line!r}")
+        return Instruction(_ONE_OPERAND[mnemonic], dest=parse_operand(operands[0]), label=label)
+
+    if mnemonic in ("cmovz", "cmovnz"):
+        if len(operands) != 2:
+            raise AssemblyError(f"{mnemonic} takes two operands: {line!r}")
+        dest = parse_operand(operands[0])
+        src_operand = parse_operand(operands[1])
+        if isinstance(dest, MemoryOperand) or isinstance(src_operand, MemoryOperand):
+            raise AssemblyError(f"{mnemonic} operands must be registers/immediates: {line!r}")
+        opcode = Opcode.CMOVZ if mnemonic == "cmovz" else Opcode.CMOVNZ
+        return Instruction(opcode, dest=dest, src=src_operand, label=label)
+
+    if mnemonic == "mov":
+        if len(operands) != 2:
+            raise AssemblyError(f"mov takes two operands: {line!r}")
+        dest = parse_operand(operands[0])
+        src = parse_operand(operands[1])
+        if isinstance(src, MemoryOperand) and isinstance(dest, MemoryOperand):
+            raise AssemblyError(f"mov cannot be memory-to-memory: {line!r}")
+        if isinstance(src, MemoryOperand):
+            return Instruction(Opcode.LOAD, dest=dest, src=src, label=label)
+        if isinstance(dest, MemoryOperand):
+            return Instruction(Opcode.STORE, dest=dest, src=src, label=label)
+        return Instruction(Opcode.MOV, dest=dest, src=src, label=label)
+
+    if mnemonic in _TWO_OPERAND:
+        if len(operands) != 2:
+            raise AssemblyError(f"{mnemonic} takes two operands: {line!r}")
+        return Instruction(
+            _TWO_OPERAND[mnemonic],
+            dest=parse_operand(operands[0]),
+            src=parse_operand(operands[1]),
+            label=label,
+        )
+
+    raise AssemblyError(f"unknown mnemonic {mnemonic!r} in line {line!r}")
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble multi-line source text into a :class:`Program`.
+
+    A label on a line of its own attaches to the next instruction.
+    """
+    instructions: list[Instruction] = []
+    pending_label: str | None = None
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line
+        label_match = _LABEL_RE.match(line.split(";")[0].split("#")[0])
+        label: str | None = None
+        if label_match is not None:
+            label = label_match.group(1)
+            line = label_match.group(2)
+        if label is not None and pending_label is not None:
+            raise AssemblyError(
+                f"line {line_number}: two consecutive labels "
+                f"({pending_label!r}, {label!r}) with no instruction between"
+            )
+        label = label or pending_label
+        pending_label = None
+        try:
+            instruction = parse_line(line, label=label)
+        except AssemblyError as error:
+            raise AssemblyError(f"line {line_number}: {error}") from None
+        if instruction is None:
+            pending_label = label
+            continue
+        instructions.append(instruction)
+    if pending_label is not None:
+        raise AssemblyError(f"label {pending_label!r} at end of program has no instruction")
+    return Program(instructions, name=name)

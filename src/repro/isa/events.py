@@ -1,0 +1,247 @@
+"""The eleven instruction-level events measured in the paper's case study.
+
+Figure 5 of the paper defines the events: loads and stores serviced by
+each level of the memory hierarchy (main memory, L2, L1), simple and
+complex integer arithmetic, and a "no instruction" placeholder.  An
+*event* is more than an opcode — LDM, LDL2 and LDL1 all use the same
+``mov eax,[esi]`` instruction but differ in the cache level that services
+the access, which the measurement code arranges by sweeping arrays of
+different footprints (Section III).
+
+This module encodes each event as the pair (instruction template,
+working-set class) so the code generator and the cache hierarchy can
+recreate the intended microarchitectural behaviour mechanistically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.isa.instructions import Instruction, Opcode, imm, mem, reg
+
+
+class Footprint(enum.Enum):
+    """Working-set class of a memory event's pointer sweep.
+
+    The alternation kernel sweeps a pointer over an array sized so the
+    access stream hits in L1, hits in L2 (missing L1), or misses both
+    caches and goes off-chip (Section III, Figure 4 commentary).
+    ``NONE`` marks non-memory events, whose pointer-update code is still
+    executed (so the surrounding code is identical) but whose test slot
+    does not touch memory.
+    """
+
+    NONE = "none"
+    L1 = "l1"
+    L2 = "l2"
+    MEMORY = "memory"
+
+
+class EventKind(enum.Enum):
+    """Coarse category of an event, used by analysis and reporting."""
+
+    LOAD = "load"
+    STORE = "store"
+    ARITHMETIC = "arithmetic"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class InstructionEvent:
+    """One row of the paper's Figure 5.
+
+    Attributes
+    ----------
+    name:
+        Paper mnemonic (``LDM``, ``STL2``, ``ADD``, ...).
+    x86_text:
+        The x86 assembly the paper lists for the event (documentation;
+        the simulator executes the equivalent :attr:`opcode`).
+    description:
+        The paper's human-readable description.
+    opcode:
+        Simulator opcode for the test slot, or ``None`` for NOI.
+    footprint:
+        Working-set class controlling which cache level services the
+        access (``NONE`` for non-memory events).
+    kind:
+        Coarse category used in analysis.
+    """
+
+    name: str
+    x86_text: str
+    description: str
+    opcode: Opcode | None
+    footprint: Footprint
+    kind: EventKind
+
+    @property
+    def is_memory(self) -> bool:
+        """True if this event exercises the data memory hierarchy."""
+        return self.footprint is not Footprint.NONE
+
+    @property
+    def is_store(self) -> bool:
+        """True if this event writes to memory."""
+        return self.kind is EventKind.STORE
+
+    def test_instruction(self, pointer_register: str = "esi") -> Instruction | None:
+        """Build the test-slot instruction for this event.
+
+        Returns ``None`` for NOI — the slot is left empty, exactly as the
+        paper leaves line 6/12 of Figure 4 empty.
+
+        Parameters
+        ----------
+        pointer_register:
+            Register holding the sweep pointer for memory events; the
+            paper's kernel uses ``esi`` for the A half and ``edi`` for
+            the B half.
+        """
+        if self.opcode is None:
+            return None
+        if self.is_memory:
+            if self.is_store:
+                return Instruction(
+                    Opcode.STORE,
+                    dest=mem(pointer_register),
+                    src=imm(0xFFFFFFFF),
+                    role="test",
+                )
+            return Instruction(
+                Opcode.LOAD, dest=reg("eax"), src=mem(pointer_register), role="test"
+            )
+        return Instruction(self.opcode, dest=reg("eax"), src=imm(173), role="test")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _make_events() -> tuple[InstructionEvent, ...]:
+    """Construct the canonical Figure 5 event list."""
+    return (
+        InstructionEvent(
+            "LDM",
+            "mov eax,[esi]",
+            "Load from main memory",
+            Opcode.LOAD,
+            Footprint.MEMORY,
+            EventKind.LOAD,
+        ),
+        InstructionEvent(
+            "STM",
+            "mov [esi],0xFFFFFFFF",
+            "Store to main memory",
+            Opcode.STORE,
+            Footprint.MEMORY,
+            EventKind.STORE,
+        ),
+        InstructionEvent(
+            "LDL2",
+            "mov eax,[esi]",
+            "Load from L2 cache",
+            Opcode.LOAD,
+            Footprint.L2,
+            EventKind.LOAD,
+        ),
+        InstructionEvent(
+            "STL2",
+            "mov [esi],0xFFFFFFFF",
+            "Store to L2 cache",
+            Opcode.STORE,
+            Footprint.L2,
+            EventKind.STORE,
+        ),
+        InstructionEvent(
+            "LDL1",
+            "mov eax,[esi]",
+            "Load from L1 cache",
+            Opcode.LOAD,
+            Footprint.L1,
+            EventKind.LOAD,
+        ),
+        InstructionEvent(
+            "STL1",
+            "mov [esi],0xFFFFFFFF",
+            "Store to L1 cache",
+            Opcode.STORE,
+            Footprint.L1,
+            EventKind.STORE,
+        ),
+        InstructionEvent(
+            "NOI",
+            "",
+            "No instruction",
+            None,
+            Footprint.NONE,
+            EventKind.NONE,
+        ),
+        InstructionEvent(
+            "ADD",
+            "add eax,173",
+            "Add imm to reg",
+            Opcode.ADD,
+            Footprint.NONE,
+            EventKind.ARITHMETIC,
+        ),
+        InstructionEvent(
+            "SUB",
+            "sub eax,173",
+            "Sub imm from reg",
+            Opcode.SUB,
+            Footprint.NONE,
+            EventKind.ARITHMETIC,
+        ),
+        InstructionEvent(
+            "MUL",
+            "imul eax,173",
+            "Integer multiplication",
+            Opcode.IMUL,
+            Footprint.NONE,
+            EventKind.ARITHMETIC,
+        ),
+        InstructionEvent(
+            "DIV",
+            "idiv eax",
+            "Integer division",
+            Opcode.IDIV,
+            Footprint.NONE,
+            EventKind.ARITHMETIC,
+        ),
+    )
+
+
+#: The eleven events of Figure 5, in the paper's row/column order.
+PAPER_EVENTS: tuple[InstructionEvent, ...] = _make_events()
+
+#: Paper ordering of event names, used by every matrix in the library.
+EVENT_ORDER: tuple[str, ...] = tuple(event.name for event in PAPER_EVENTS)
+
+_EVENTS_BY_NAME = {event.name: event for event in PAPER_EVENTS}
+
+
+def get_event(name: str) -> InstructionEvent:
+    """Look up a paper event by its mnemonic (case-insensitive).
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is not one of the eleven Figure 5 mnemonics.
+    """
+    try:
+        return _EVENTS_BY_NAME[name.upper()]
+    except KeyError:
+        known = ", ".join(EVENT_ORDER)
+        raise ConfigurationError(f"unknown event {name!r}; known events: {known}") from None
+
+
+def event_pairs() -> list[tuple[InstructionEvent, InstructionEvent]]:
+    """All ordered (A, B) pairings of the eleven events, row-major.
+
+    The paper measures the full ordered matrix — both A/B and B/A — so
+    the difference between symmetric entries estimates the error caused
+    by placing identical instructions at different program addresses.
+    """
+    return [(a, b) for a in PAPER_EVENTS for b in PAPER_EVENTS]

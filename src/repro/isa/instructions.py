@@ -1,0 +1,240 @@
+"""Instruction set model for the SAVAT microbenchmarks.
+
+The paper's measurement kernels (Figure 4) are written in x86 assembly so
+that the non-under-test code is identical for every instruction under
+test.  This module defines a small, explicit x86-like instruction set
+that is rich enough to express those kernels — register ALU operations,
+loads/stores with simple addressing, and the loop-control instructions —
+while remaining easy to simulate at cycle granularity.
+
+Instructions are plain frozen dataclasses; semantics and timing live in
+:mod:`repro.uarch.core` and :mod:`repro.uarch.functional_units` so the ISA
+definition stays independent of any particular machine model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+
+#: Architectural general-purpose register names, in x86 order.
+REGISTER_NAMES: tuple[str, ...] = (
+    "eax",
+    "ebx",
+    "ecx",
+    "edx",
+    "esi",
+    "edi",
+    "ebp",
+    "esp",
+)
+
+#: Mask applied to all register arithmetic (32-bit machine).
+WORD_MASK = 0xFFFFFFFF
+
+
+class Opcode(enum.Enum):
+    """Operations understood by the simulator.
+
+    The set covers everything the Figure 4 alternation kernel and the
+    example workloads need.  ``NOP`` exists so the "no instruction" (NOI)
+    event can still occupy a program slot when a placeholder is useful;
+    the alternation generator normally omits the slot entirely, exactly
+    as the paper does.
+    """
+
+    MOV = "mov"  # reg <- reg/imm
+    CMOVZ = "cmovz"  # reg <- reg/imm if ZF (branchless select)
+    CMOVNZ = "cmovnz"  # reg <- reg/imm if !ZF
+    LOAD = "load"  # reg <- [mem]
+    STORE = "store"  # [mem] <- reg/imm
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    LEA = "lea"  # reg <- address computation (AGU only, no memory access)
+    IMUL = "imul"
+    IDIV = "idiv"
+    INC = "inc"
+    DEC = "dec"
+    CMP = "cmp"
+    TEST = "test"
+    JMP = "jmp"
+    JNZ = "jnz"
+    JZ = "jz"
+    NOP = "nop"
+    HALT = "halt"  # simulator-only: stop execution
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Opcodes that read from or write to the data memory hierarchy.
+MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE})
+
+#: Opcodes that transfer control.
+BRANCH_OPCODES = frozenset({Opcode.JMP, Opcode.JNZ, Opcode.JZ})
+
+#: Opcodes executed by the simple integer ALU.
+ALU_OPCODES = frozenset(
+    {
+        Opcode.MOV,
+        Opcode.CMOVZ,
+        Opcode.CMOVNZ,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.INC,
+        Opcode.DEC,
+        Opcode.CMP,
+        Opcode.TEST,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named architectural register operand."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in REGISTER_NAMES:
+            raise AssemblyError(f"unknown register {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """An immediate (constant) operand, stored as a Python int."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class MemoryOperand:
+    """An x86-style ``[base + index*scale + displacement]`` address.
+
+    Only the addressing forms the kernels actually use are supported:
+    a base register, an optional index register with power-of-two scale,
+    and a constant displacement.
+    """
+
+    base: Register | None = None
+    index: Register | None = None
+    scale: int = 1
+    displacement: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise AssemblyError(f"invalid address scale {self.scale!r}")
+        if self.base is None and self.index is None and self.displacement == 0:
+            raise AssemblyError("memory operand must have a base, index, or displacement")
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            part = self.index.name
+            if self.scale != 1:
+                part += f"*{self.scale}"
+            parts.append(part)
+        if self.displacement or not parts:
+            parts.append(str(self.displacement))
+        return "[" + "+".join(parts) + "]"
+
+
+Operand = Register | Immediate | MemoryOperand
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction: an opcode plus up to two operands and a label.
+
+    ``dest`` is the destination operand (register or memory), ``src`` the
+    source.  Branches carry their target label in ``target``.  ``label``
+    names the instruction itself so branches can reference it.
+    """
+
+    opcode: Opcode
+    dest: Operand | None = None
+    src: Operand | None = None
+    target: str | None = None
+    label: str | None = None
+    #: Free-form tag used by the measurement code to mark the
+    #: instruction under test ("A" or "B") versus surrounding code.
+    role: str = ""
+    annotations: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.opcode in BRANCH_OPCODES and self.target is None:
+            raise AssemblyError(f"{self.opcode} requires a branch target")
+        if self.opcode is Opcode.LOAD and not isinstance(self.dest, Register):
+            raise AssemblyError("load destination must be a register")
+        if self.opcode is Opcode.LOAD and not isinstance(self.src, MemoryOperand):
+            raise AssemblyError("load source must be a memory operand")
+        if self.opcode is Opcode.STORE and not isinstance(self.dest, MemoryOperand):
+            raise AssemblyError("store destination must be a memory operand")
+
+    @property
+    def is_memory(self) -> bool:
+        """True if this instruction accesses the data memory hierarchy."""
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def is_branch(self) -> bool:
+        """True if this instruction may transfer control."""
+        return self.opcode in BRANCH_OPCODES
+
+    def __str__(self) -> str:
+        prefix = f"{self.label}: " if self.label else ""
+        if self.opcode in BRANCH_OPCODES:
+            return f"{prefix}{self.opcode} {self.target}"
+        # Loads and stores render in x86 notation ("mov eax, [esi]") so
+        # Program.to_text() output re-assembles.
+        mnemonic = "mov" if self.opcode in MEMORY_OPCODES else str(self.opcode)
+        operands = ", ".join(str(op) for op in (self.dest, self.src) if op is not None)
+        text = f"{prefix}{mnemonic}"
+        if operands:
+            text += f" {operands}"
+        return text
+
+
+def reg(name: str) -> Register:
+    """Shorthand constructor for a :class:`Register` operand."""
+    return Register(name)
+
+
+def imm(value: int) -> Immediate:
+    """Shorthand constructor for an :class:`Immediate` operand."""
+    return Immediate(int(value))
+
+
+def mem(
+    base: str | None = None,
+    index: str | None = None,
+    scale: int = 1,
+    displacement: int = 0,
+) -> MemoryOperand:
+    """Shorthand constructor for a :class:`MemoryOperand`."""
+    return MemoryOperand(
+        base=Register(base) if base is not None else None,
+        index=Register(index) if index is not None else None,
+        scale=scale,
+        displacement=displacement,
+    )

@@ -1,0 +1,98 @@
+"""Program container: an ordered instruction list with label resolution.
+
+A :class:`Program` is the unit of execution for the simulator.  It owns
+its instructions, resolves branch targets to instruction indices once at
+construction, and knows how to pretty-print itself as assembly text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class Program:
+    """An executable sequence of instructions.
+
+    Parameters
+    ----------
+    instructions:
+        The instruction sequence.  Labels on instructions are collected
+        into a label table; duplicate labels are rejected.
+    name:
+        Optional human-readable name used in reports and exceptions.
+    """
+
+    instructions: list[Instruction]
+    name: str = "program"
+    _labels: dict[str, int] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.instructions = list(self.instructions)
+        for index, instruction in enumerate(self.instructions):
+            if instruction.label is None:
+                continue
+            if instruction.label in self._labels:
+                raise AssemblyError(
+                    f"duplicate label {instruction.label!r} in program {self.name!r}"
+                )
+            self._labels[instruction.label] = index
+        for instruction in self.instructions:
+            if instruction.is_branch and instruction.target not in self._labels:
+                raise AssemblyError(
+                    f"undefined branch target {instruction.target!r} "
+                    f"in program {self.name!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def label_index(self, label: str) -> int:
+        """Instruction index of ``label``.
+
+        Raises
+        ------
+        AssemblyError
+            If the label is not defined in this program.
+        """
+        try:
+            return self._labels[label]
+        except KeyError:
+            raise AssemblyError(
+                f"label {label!r} not defined in program {self.name!r}"
+            ) from None
+
+    @property
+    def labels(self) -> dict[str, int]:
+        """Copy of the label table (label -> instruction index)."""
+        return dict(self._labels)
+
+    def count_role(self, role: str) -> int:
+        """Number of instructions tagged with ``role`` (e.g. ``"test"``)."""
+        return sum(1 for instruction in self.instructions if instruction.role == role)
+
+    def to_text(self) -> str:
+        """Render the program as assembly text, one instruction per line."""
+        return "\n".join(str(instruction) for instruction in self.instructions)
+
+    @classmethod
+    def concatenate(cls, programs: Iterable["Program"], name: str = "program") -> "Program":
+        """Join several programs into one.
+
+        Labels must remain globally unique across the parts; the usual
+        pattern is to suffix labels with a per-part tag before joining.
+        """
+        instructions: list[Instruction] = []
+        for program in programs:
+            instructions.extend(program.instructions)
+        return cls(instructions, name=name)

@@ -1,0 +1,84 @@
+"""The three laptops of the paper's Figure 6.
+
+Cache geometry is taken verbatim from Figure 6.  Clock rates, memory
+latencies, and functional-unit timings are representative values for
+those processor generations (the paper does not publish them); the
+divider occupancies are chosen consistent with the published manuals —
+the Pentium 3 M and Turion-era dividers are far slower than Core 2's
+radix-16 divider, which is part of why their DIV SAVAT is so much
+higher and why the paper notes the "high-SAVAT problem of DIV ... was
+reduced when designing Core 2".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.machines.specs import MachineSpec
+from repro.uarch.cache import CacheGeometry
+from repro.uarch.functional_units import ActivityModel, FunctionalUnitTimings
+from repro.uarch.hierarchy import MemoryLatencies
+
+#: Intel Core 2 Duo laptop (Figure 6, row 1): 32 KB 8-way L1D,
+#: 4096 KB 16-way L2.
+CORE2DUO = MachineSpec(
+    name="core2duo",
+    display_name="Intel Core 2 Duo",
+    clock_hz=2.4e9,
+    l1_geometry=CacheGeometry(size_bytes=32 * 1024, ways=8, line_bytes=64),
+    l2_geometry=CacheGeometry(size_bytes=4096 * 1024, ways=16, line_bytes=64),
+    latencies=MemoryLatencies(l1_cycles=3, l2_cycles=14, memory_cycles=200),
+    timings=FunctionalUnitTimings(mul_cycles=3, div_cycles=22),
+    activity=ActivityModel(),
+)
+
+#: Intel Pentium 3 M laptop (Figure 6, row 2): 16 KB 4-way L1D,
+#: 512 KB 8-way L2.  Older process: longer iterative divide, slower
+#: clock, and a chattier front-side bus.
+PENTIUM3M = MachineSpec(
+    name="pentium3m",
+    display_name="Intel Pentium 3 M",
+    clock_hz=1.2e9,
+    l1_geometry=CacheGeometry(size_bytes=16 * 1024, ways=4, line_bytes=64),
+    l2_geometry=CacheGeometry(size_bytes=512 * 1024, ways=8, line_bytes=64),
+    latencies=MemoryLatencies(l1_cycles=3, l2_cycles=9, memory_cycles=120),
+    timings=FunctionalUnitTimings(mul_cycles=4, div_cycles=39),
+    activity=ActivityModel(div_per_cycle=1.8, bus_per_transfer=12.0, dram_per_transfer=9.0),
+)
+
+#: AMD Turion X2 laptop (Figure 6, row 3): 64 KB 2-way L1D,
+#: 1024 KB 16-way L2.  Contemporary with Core 2 but with a slow
+#: radix-2-per-bit divider whose SAVAT "rivals off-chip accesses".
+TURIONX2 = MachineSpec(
+    name="turionx2",
+    display_name="AMD Turion X2",
+    clock_hz=2.0e9,
+    l1_geometry=CacheGeometry(size_bytes=64 * 1024, ways=2, line_bytes=64),
+    l2_geometry=CacheGeometry(size_bytes=1024 * 1024, ways=16, line_bytes=64),
+    latencies=MemoryLatencies(l1_cycles=3, l2_cycles=12, memory_cycles=180),
+    timings=FunctionalUnitTimings(mul_cycles=3, div_cycles=42),
+    activity=ActivityModel(div_per_cycle=2.0),
+)
+
+#: All machines, keyed by catalog name.
+MACHINES: dict[str, MachineSpec] = {
+    spec.name: spec for spec in (CORE2DUO, PENTIUM3M, TURIONX2)
+}
+
+#: Catalog names in the paper's Figure 6 order.
+MACHINE_NAMES: tuple[str, ...] = tuple(MACHINES)
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine spec by catalog name (case-insensitive).
+
+    Raises
+    ------
+    ConfigurationError
+        If the name is not in the catalog.
+    """
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; known machines: {', '.join(MACHINE_NAMES)}"
+        ) from None

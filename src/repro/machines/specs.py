@@ -1,0 +1,77 @@
+"""Machine specification: everything needed to instantiate a simulated
+laptop.
+
+A :class:`MachineSpec` bundles the paper's Figure 6 cache geometry with
+clock rate, memory latencies, functional-unit timings, and the
+switching-activity model, and can mint fresh
+:class:`~repro.uarch.core.Core` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.uarch.cache import CacheGeometry
+from repro.uarch.core import Core
+from repro.uarch.functional_units import ActivityModel, FunctionalUnitTimings
+from repro.uarch.hierarchy import MemoryLatencies
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete simulated-machine description.
+
+    Attributes
+    ----------
+    name:
+        Catalog key (``"core2duo"``...).
+    display_name:
+        Human-readable name used in reports (matches Figure 6).
+    clock_hz:
+        Core clock frequency.
+    l1_geometry, l2_geometry:
+        Cache geometry per the paper's Figure 6.
+    latencies:
+        Cache/memory access latencies in cycles.
+    timings:
+        Functional-unit occupancies.
+    activity:
+        Per-operation switching-activity quanta.
+    """
+
+    name: str
+    display_name: str
+    clock_hz: float
+    l1_geometry: CacheGeometry
+    l2_geometry: CacheGeometry
+    latencies: MemoryLatencies = field(default_factory=MemoryLatencies)
+    timings: FunctionalUnitTimings = field(default_factory=FunctionalUnitTimings)
+    activity: ActivityModel = field(default_factory=ActivityModel)
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"clock must be positive, got {self.clock_hz}")
+        if not self.name:
+            raise ConfigurationError("machine name must be non-empty")
+
+    def make_core(self) -> Core:
+        """A fresh core with cold caches for this machine."""
+        return Core(
+            clock_hz=self.clock_hz,
+            l1_geometry=self.l1_geometry,
+            l2_geometry=self.l2_geometry,
+            latencies=self.latencies,
+            timings=self.timings,
+            activity=self.activity,
+        )
+
+    def describe(self) -> str:
+        """One-line description in the style of the paper's Figure 6."""
+        l1 = self.l1_geometry
+        l2 = self.l2_geometry
+        return (
+            f"{self.display_name}: L1D {l1.size_bytes // 1024} KB {l1.ways}-way, "
+            f"L2 {l2.size_bytes // 1024} KB {l2.ways}-way, "
+            f"{self.clock_hz / 1e9:.1f} GHz"
+        )

@@ -1,0 +1,25 @@
+"""Side-channel mitigations and their SAVAT-measured cost/benefit."""
+
+from repro.mitigations.branchless import (
+    BranchlessReport,
+    bit_level_separation,
+    constant_time_step_program,
+    evaluate_branchless,
+    simulate_constant_time_victim,
+)
+from repro.mitigations.compensation import (
+    CompensationReport,
+    compensate_sequences,
+    evaluate_compensation,
+)
+
+__all__ = [
+    "BranchlessReport",
+    "CompensationReport",
+    "bit_level_separation",
+    "constant_time_step_program",
+    "evaluate_branchless",
+    "simulate_constant_time_victim",
+    "compensate_sequences",
+    "evaluate_compensation",
+]

@@ -1,0 +1,190 @@
+"""Branchless (constant-time) rewriting — the software mitigation.
+
+Compensation (:mod:`repro.mitigations.compensation`) balances two paths;
+the stronger fix is to have *one* path: always execute both the square
+and the multiply, and commit the right result with a conditional move.
+``cmov`` retires in the same cycle with the same ALU activity whether or
+not it moves, so the instruction stream — and therefore the side-channel
+signal SAVAT measures — is independent of the key bit.
+
+This module builds the constant-time variant of the
+:mod:`repro.attacks.modexp` victim and quantifies the mitigation:
+
+* :func:`bit_level_separation` — how far apart the average 1-bit and
+  0-bit signatures sit in the attacker's signal space (the quantity the
+  template attack thresholds);
+* :func:`evaluate_branchless` — separation and run time for the leaky
+  and constant-time victims side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.modexp import (
+    DEFAULT_BLOCK_WORK,
+    TABLE_BASE,
+    VictimExecution,
+    multiply_block_program,
+    square_block_program,
+)
+from repro.errors import ConfigurationError
+from repro.isa.instructions import Instruction, Opcode, imm, reg
+from repro.isa.program import Program
+from repro.machines.calibrated import CalibratedMachine
+from repro.uarch.activity import ActivityTrace
+
+
+def constant_time_step_program(block_work: int = DEFAULT_BLOCK_WORK) -> Program:
+    """One constant-time square-and-multiply step.
+
+    Executes the square block *and* the multiply block unconditionally,
+    then selects which product survives with conditional moves keyed on
+    the bit (held in ``ebx``).  The instruction stream is identical for
+    both bit values; only the ``cmov`` data differs.
+    """
+    instructions: list[Instruction] = []
+    # Squared result accumulates in edx (square_block_program's output);
+    # stash it before the multiply block overwrites the accumulator.
+    instructions.extend(square_block_program(block_work).instructions)
+    instructions.append(Instruction(Opcode.MOV, dest=reg("edi"), src=reg("edx")))
+    instructions.extend(multiply_block_program(block_work).instructions)
+    # edx now holds square*multiplier; edi holds square-only.
+    # Select: bit==1 keeps edx, bit==0 restores edi — via cmov, not a branch.
+    instructions.append(Instruction(Opcode.TEST, dest=reg("ebx"), src=imm(1)))
+    instructions.append(Instruction(Opcode.CMOVZ, dest=reg("edx"), src=reg("edi")))
+    return Program(instructions, name="constant-time step")
+
+
+def simulate_constant_time_victim(
+    machine: CalibratedMachine,
+    key_bits: list[int] | tuple[int, ...],
+    block_work: int = DEFAULT_BLOCK_WORK,
+) -> VictimExecution:
+    """Run the constant-time victim; one identical block per key bit."""
+    if not key_bits:
+        raise ConfigurationError("key must have at least one bit")
+    if any(bit not in (0, 1) for bit in key_bits):
+        raise ConfigurationError(f"key bits must be 0/1, got {key_bits!r}")
+    core = machine.make_core()
+    core.registers["edx"] = 1
+    core.registers["esi"] = TABLE_BASE
+    step = constant_time_step_program(block_work)
+
+    pieces: list[np.ndarray] = []
+    boundaries: list[tuple[int, int, str]] = []
+    cursor = 0
+    for bit in key_bits:
+        core.registers["ebx"] = bit
+        result = core.run(step, warm_hierarchy=True)
+        pieces.append(result.trace.data)
+        boundaries.append((cursor, cursor + result.cycles, "ct_step"))
+        cursor += result.cycles
+
+    trace = ActivityTrace(np.concatenate(pieces, axis=1), machine.spec.clock_hz)
+    return VictimExecution(
+        key_bits=tuple(key_bits),
+        trace=trace,
+        block_boundaries=tuple(boundaries),
+    )
+
+
+def _bit_spans(execution: VictimExecution) -> list[tuple[int, int]]:
+    """Cycle span owned by each key bit.
+
+    In the leaky victim a 1-bit owns its square *and* multiply blocks;
+    in the constant-time victim every bit owns exactly one step block.
+    """
+    spans: list[tuple[int, int]] = []
+    boundary_iter = iter(execution.block_boundaries)
+    for _bit in execution.key_bits:
+        start, end, kind = next(boundary_iter)
+        if kind == "square":
+            # Peek: a multiply block following a square belongs to a 1-bit.
+            remaining = list(boundary_iter)
+            if remaining and remaining[0][2] == "multiply":
+                end = remaining[0][1]
+                remaining = remaining[1:]
+            boundary_iter = iter(remaining)
+        spans.append((start, end))
+    return spans
+
+
+def bit_level_separation(
+    machine: CalibratedMachine, execution: VictimExecution
+) -> float:
+    """Distance between the average 1-bit and 0-bit signatures.
+
+    Each bit's feature vector is its span's per-mode mean signal level
+    plus its duration (timing leaks count too!); the separation is the
+    Euclidean distance between the class means, with duration expressed
+    as a fractional deviation so it shares the levels' scale.
+
+    Returns 0.0 if the key contains only one bit value.
+    """
+    waveform = machine.coupling.project_trace(execution.trace)
+    spans = _bit_spans(execution)
+    mean_duration = float(np.mean([end - start for start, end in spans]))
+    level_scale = float(np.abs(waveform).mean()) or 1.0
+    features: dict[int, list[np.ndarray]] = {0: [], 1: []}
+    for bit, (start, end) in zip(execution.key_bits, spans):
+        level = waveform[:, start:end].mean(axis=1) / level_scale
+        duration = (end - start) / mean_duration - 1.0
+        features[bit].append(np.concatenate([level, [duration]]))
+    if not features[0] or not features[1]:
+        return 0.0
+    mean_zero = np.mean(features[0], axis=0)
+    mean_one = np.mean(features[1], axis=0)
+    return float(np.linalg.norm(mean_one - mean_zero))
+
+
+@dataclass
+class BranchlessReport:
+    """Leaky vs constant-time victim comparison."""
+
+    key_bits: tuple[int, ...]
+    leaky_separation: float
+    constant_time_separation: float
+    leaky_cycles: int
+    constant_time_cycles: int
+
+    @property
+    def separation_reduction(self) -> float:
+        """Factor by which the rewrite shrinks the bit signature."""
+        if self.constant_time_separation <= 0:
+            return float("inf")
+        return self.leaky_separation / self.constant_time_separation
+
+    @property
+    def time_overhead(self) -> float:
+        """Execution-time cost of always doing both blocks."""
+        return self.constant_time_cycles / self.leaky_cycles - 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"branchless rewrite: bit separation {self.leaky_separation:.3g} -> "
+            f"{self.constant_time_separation:.3g} "
+            f"({self.separation_reduction:.0f}x smaller) at "
+            f"{self.time_overhead:+.0%} execution time"
+        )
+
+
+def evaluate_branchless(
+    machine: CalibratedMachine,
+    key_bits: list[int] | tuple[int, ...],
+    block_work: int = DEFAULT_BLOCK_WORK,
+) -> BranchlessReport:
+    """Measure the constant-time rewrite's benefit and cost."""
+    from repro.attacks.modexp import simulate_victim
+
+    leaky = simulate_victim(machine, key_bits, block_work)
+    constant_time = simulate_constant_time_victim(machine, key_bits, block_work)
+    return BranchlessReport(
+        key_bits=tuple(key_bits),
+        leaky_separation=bit_level_separation(machine, leaky),
+        constant_time_separation=bit_level_separation(machine, constant_time),
+        leaky_cycles=leaky.trace.num_cycles,
+        constant_time_cycles=constant_time.trace.num_cycles,
+    )

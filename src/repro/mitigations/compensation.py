@@ -1,0 +1,128 @@
+"""Compensating-activity mitigation and its cost/benefit evaluation.
+
+Section II describes the classic circuit/software countermeasure:
+"when actual inputs require little activity, additional unnecessary
+activity is performed to match what happens for high-activity values",
+at the cost of "execution times that always match the worst case".
+SAVAT's whole purpose is to let designers apply such expensive
+mitigations *selectively* — only where the signal actually is.
+
+This module implements the software variant at sequence granularity:
+:func:`compensate_sequences` pads each of two data-dependent code paths
+with the other's excess events (dummy work), and
+:func:`evaluate_compensation` measures the SAVAT before and after plus
+the execution-time overhead, producing exactly the numbers a designer
+would weigh.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sequences import measure_sequence_savat
+from repro.errors import ConfigurationError
+from repro.isa.events import get_event
+from repro.machines.calibrated import CalibratedMachine
+
+
+def compensate_sequences(
+    sequence_a: Sequence[str],
+    sequence_b: Sequence[str],
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Pad both sequences to the same event multiset.
+
+    Each side gains dummy copies of the events the *other* side has in
+    excess, so after compensation both paths execute the same bag of
+    instructions (order differs, which first-order activity models —
+    and, per the paper's Section V data, real EM measurements of
+    same-instruction pairs — barely distinguish).
+
+    Raises
+    ------
+    ConfigurationError
+        If either sequence is empty or names an unknown event.
+    """
+    if not sequence_a or not sequence_b:
+        raise ConfigurationError("both sequences must be non-empty")
+    names_a = [get_event(name).name for name in sequence_a]
+    names_b = [get_event(name).name for name in sequence_b]
+    counts_a = Counter(names_a)
+    counts_b = Counter(names_b)
+    padded_a = list(names_a)
+    padded_b = list(names_b)
+    for event, count in sorted((counts_b - counts_a).items()):
+        padded_a.extend([event] * count)
+    for event, count in sorted((counts_a - counts_b).items()):
+        padded_b.extend([event] * count)
+    return tuple(padded_a), tuple(padded_b)
+
+
+@dataclass
+class CompensationReport:
+    """Cost/benefit of compensating one data-dependent path pair."""
+
+    sequence_a: tuple[str, ...]
+    sequence_b: tuple[str, ...]
+    compensated_a: tuple[str, ...]
+    compensated_b: tuple[str, ...]
+    savat_before_zj: float
+    savat_after_zj: float
+    pairs_per_second_before: float
+    pairs_per_second_after: float
+
+    @property
+    def savat_reduction(self) -> float:
+        """Factor by which the mitigation shrinks the signal."""
+        if self.savat_after_zj <= 0:
+            return float("inf")
+        return self.savat_before_zj / self.savat_after_zj
+
+    @property
+    def time_overhead(self) -> float:
+        """Relative execution-time cost of the dummy work.
+
+        The alternation kernel's pair rate is inversely proportional to
+        the paths' combined duration, so the overhead is the rate ratio
+        minus one (0.0 = free, 1.0 = everything takes twice as long).
+        """
+        if self.pairs_per_second_after <= 0:
+            return float("inf")
+        return self.pairs_per_second_before / self.pairs_per_second_after - 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"compensation: SAVAT {self.savat_before_zj:.2f} -> "
+            f"{self.savat_after_zj:.2f} zJ ({self.savat_reduction:.0f}x quieter) "
+            f"at +{self.time_overhead:.0%} execution time"
+        )
+
+
+def evaluate_compensation(
+    machine: CalibratedMachine,
+    sequence_a: Sequence[str],
+    sequence_b: Sequence[str],
+    rng: np.random.Generator | None = None,
+) -> CompensationReport:
+    """Measure a path pair's SAVAT before and after compensation.
+
+    Both measurements run through the full pipeline (sequence-slot
+    alternation kernels), so the report reflects what an attacker's
+    spectrum analyzer would actually see.
+    """
+    padded_a, padded_b = compensate_sequences(sequence_a, sequence_b)
+    before = measure_sequence_savat(machine, sequence_a, sequence_b, rng=rng)
+    after = measure_sequence_savat(machine, padded_a, padded_b, rng=rng)
+    return CompensationReport(
+        sequence_a=before.sequence_a,
+        sequence_b=before.sequence_b,
+        compensated_a=padded_a,
+        compensated_b=padded_b,
+        savat_before_zj=before.measured_zj,
+        savat_after_zj=after.measured_zj,
+        pairs_per_second_before=before.pairs_per_second,
+        pairs_per_second_after=after.pairs_per_second,
+    )

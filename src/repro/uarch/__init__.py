@@ -1,0 +1,42 @@
+"""Microarchitectural substrate: caches, core, activity traces."""
+
+from repro.uarch.activity import ActivityRecorder, ActivityTrace
+from repro.uarch.cache import Cache, CacheAccessResult, CacheGeometry, CacheStats
+from repro.uarch.components import (
+    COMPONENT_INDEX,
+    COMPONENT_ORDER,
+    Component,
+    NUM_COMPONENTS,
+    OFF_CHIP_COMPONENTS,
+)
+from repro.uarch.core import (
+    Core,
+    DEFAULT_MAX_INSTRUCTIONS,
+    ExecutionStats,
+    SimulationResult,
+)
+from repro.uarch.functional_units import ActivityModel, FunctionalUnitTimings
+from repro.uarch.hierarchy import MemoryAccessReport, MemoryHierarchy, MemoryLatencies
+
+__all__ = [
+    "ActivityModel",
+    "ActivityRecorder",
+    "ActivityTrace",
+    "COMPONENT_INDEX",
+    "COMPONENT_ORDER",
+    "Cache",
+    "CacheAccessResult",
+    "CacheGeometry",
+    "CacheStats",
+    "Component",
+    "Core",
+    "DEFAULT_MAX_INSTRUCTIONS",
+    "ExecutionStats",
+    "FunctionalUnitTimings",
+    "MemoryAccessReport",
+    "MemoryHierarchy",
+    "MemoryLatencies",
+    "NUM_COMPONENTS",
+    "OFF_CHIP_COMPONENTS",
+    "SimulationResult",
+]

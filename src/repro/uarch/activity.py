@@ -1,0 +1,184 @@
+"""Per-cycle, per-component switching-activity traces.
+
+The simulator does not model voltages or currents directly; it records an
+abstract *switching activity* quantity for each component on each cycle
+(roughly "how many wire/transistor toggles happened here").  The EM
+model later projects these traces through per-component coupling
+coefficients to obtain the signal at the attacker's antenna.
+
+Recording is two-phase for speed: the core appends lightweight
+``(component, start_cycle, duration, amount_per_cycle)`` events to an
+:class:`ActivityRecorder` during simulation, and :meth:`ActivityRecorder.finish`
+materializes a dense ``[num_components, num_cycles]`` array once at the
+end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.uarch.components import (
+    COMPONENT_INDEX,
+    COMPONENT_ORDER,
+    Component,
+    NUM_COMPONENTS,
+)
+
+
+@dataclass
+class ActivityTrace:
+    """Dense activity history: ``data[c, t]`` is component ``c``'s
+    switching activity during cycle ``t``.
+
+    Attributes
+    ----------
+    data:
+        Array of shape ``(NUM_COMPONENTS, num_cycles)``, float64.
+    clock_hz:
+        Clock frequency the cycle axis corresponds to.
+    """
+
+    data: np.ndarray
+    clock_hz: float
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if self.data.ndim != 2 or self.data.shape[0] != NUM_COMPONENTS:
+            raise SimulationError(
+                f"activity trace must have shape ({NUM_COMPONENTS}, T), "
+                f"got {self.data.shape}"
+            )
+        if self.clock_hz <= 0:
+            raise SimulationError(f"clock frequency must be positive, got {self.clock_hz}")
+
+    @property
+    def num_cycles(self) -> int:
+        """Length of the trace in clock cycles."""
+        return self.data.shape[1]
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration of the trace in seconds."""
+        return self.num_cycles / self.clock_hz
+
+    def component(self, component: Component) -> np.ndarray:
+        """The per-cycle activity series of one component (a view)."""
+        return self.data[COMPONENT_INDEX[component]]
+
+    def totals(self) -> dict[Component, float]:
+        """Total activity per component over the whole trace."""
+        sums = self.data.sum(axis=1)
+        return {component: float(sums[i]) for i, component in enumerate(COMPONENT_ORDER)}
+
+    def mean_rates(self) -> np.ndarray:
+        """Mean activity per cycle for each component (length-C vector)."""
+        return self.data.mean(axis=1)
+
+    def window(self, start_cycle: int, end_cycle: int) -> "ActivityTrace":
+        """Sub-trace covering cycles ``[start_cycle, end_cycle)``."""
+        if not 0 <= start_cycle < end_cycle <= self.num_cycles:
+            raise SimulationError(
+                f"invalid window [{start_cycle}, {end_cycle}) "
+                f"for a {self.num_cycles}-cycle trace"
+            )
+        return ActivityTrace(self.data[:, start_cycle:end_cycle].copy(), self.clock_hz)
+
+    def downsample(self, factor: int) -> "ActivityTrace":
+        """Average the trace over non-overlapping blocks of ``factor`` cycles.
+
+        The trailing partial block, if any, is dropped.  Downsampling is
+        used to build the coarse activity envelope that the EM synthesis
+        tiles over a full measurement interval.
+        """
+        if factor < 1:
+            raise SimulationError(f"downsample factor must be >= 1, got {factor}")
+        usable = (self.num_cycles // factor) * factor
+        if usable == 0:
+            raise SimulationError(
+                f"trace of {self.num_cycles} cycles too short for factor {factor}"
+            )
+        blocks = self.data[:, :usable].reshape(NUM_COMPONENTS, usable // factor, factor)
+        return ActivityTrace(blocks.mean(axis=2), self.clock_hz / factor)
+
+    def project(self, weights: np.ndarray) -> np.ndarray:
+        """Project the trace onto field modes: ``weights @ data``.
+
+        Parameters
+        ----------
+        weights:
+            Array of shape ``(num_modes, NUM_COMPONENTS)`` — per-mode,
+            per-component coupling strengths.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(num_modes, num_cycles)``: the per-mode
+            waveform seen by the antenna before noise.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim == 1:
+            weights = weights[np.newaxis, :]
+        if weights.shape[-1] != NUM_COMPONENTS:
+            raise SimulationError(
+                f"projection weights must have {NUM_COMPONENTS} columns, "
+                f"got shape {weights.shape}"
+            )
+        return weights @ self.data
+
+
+class ActivityRecorder:
+    """Accumulates activity events during simulation.
+
+    Events may extend past the currently known end of the trace (e.g. a
+    divider still busy when the program halts); :meth:`finish` clips to
+    the final cycle count.
+    """
+
+    def __init__(self, clock_hz: float) -> None:
+        if clock_hz <= 0:
+            raise SimulationError(f"clock frequency must be positive, got {clock_hz}")
+        self.clock_hz = clock_hz
+        self._components: list[int] = []
+        self._starts: list[int] = []
+        self._durations: list[int] = []
+        self._amounts: list[float] = []
+
+    def add(
+        self,
+        component: Component,
+        start_cycle: int,
+        duration: int,
+        amount_per_cycle: float,
+    ) -> None:
+        """Record ``amount_per_cycle`` activity on ``component`` for
+        ``duration`` cycles starting at ``start_cycle``."""
+        if duration <= 0 or amount_per_cycle == 0.0:
+            return
+        if start_cycle < 0:
+            raise SimulationError(f"negative start cycle {start_cycle}")
+        self._components.append(COMPONENT_INDEX[component])
+        self._starts.append(start_cycle)
+        self._durations.append(duration)
+        self._amounts.append(amount_per_cycle)
+
+    def finish(self, num_cycles: int) -> ActivityTrace:
+        """Materialize the dense :class:`ActivityTrace`.
+
+        Parameters
+        ----------
+        num_cycles:
+            Final length of the trace; events are clipped to this bound.
+        """
+        if num_cycles <= 0:
+            raise SimulationError(f"trace length must be positive, got {num_cycles}")
+        data = np.zeros((NUM_COMPONENTS, num_cycles), dtype=np.float64)
+        for index, start, duration, amount in zip(
+            self._components, self._starts, self._durations, self._amounts
+        ):
+            end = min(start + duration, num_cycles)
+            if start < num_cycles:
+                data[index, start:end] += amount
+        return ActivityTrace(data, self.clock_hz)

@@ -1,0 +1,185 @@
+"""Set-associative write-back cache with LRU replacement.
+
+This is the substrate that makes the paper's memory events (LDM, STM,
+LDL2, STL2, LDL1, STL1) arise mechanistically: the alternation kernel
+sweeps pointers over arrays of chosen footprints, and the cache model
+decides — from the actual address stream — which level services each
+access and when dirty lines are written back.  The STL2 "two L2 accesses
+per store" effect the paper discusses (fill plus dirty write-back) falls
+out of this model rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/associativity/line-size triple describing one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "ways", "line_bytes"):
+            value = getattr(self, name)
+            if not _is_power_of_two(value):
+                raise ConfigurationError(f"cache {name} must be a power of two, got {value}")
+        if self.size_bytes < self.ways * self.line_bytes:
+            raise ConfigurationError(
+                f"cache of {self.size_bytes} B cannot hold {self.ways} ways "
+                f"of {self.line_bytes} B lines"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    def set_index(self, address: int) -> int:
+        """Set index for a byte address."""
+        return (address // self.line_bytes) % self.num_sets
+
+    def tag(self, address: int) -> int:
+        """Tag for a byte address."""
+        return address // (self.line_bytes * self.num_sets)
+
+    def line_address(self, address: int) -> int:
+        """Address of the first byte of the line containing ``address``."""
+        return (address // self.line_bytes) * self.line_bytes
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of a single cache access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the line was present.
+    evicted_line:
+        Line address of the victim evicted to make room for a fill, or
+        ``None`` when no eviction happened (hit, or fill into an invalid
+        way).
+    evicted_dirty:
+        Whether the evicted victim was dirty (must be written back to
+        the next level).
+    """
+
+    hit: bool
+    evicted_line: int | None = None
+    evicted_dirty: bool = False
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    fills: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate over all accesses so far (0.0 if no accesses)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Line:
+    """One cache line's bookkeeping (tag + dirty bit)."""
+
+    __slots__ = ("tag", "dirty")
+
+    def __init__(self, tag: int, dirty: bool) -> None:
+        self.tag = tag
+        self.dirty = dirty
+
+
+@dataclass
+class Cache:
+    """A write-back, write-allocate, LRU set-associative cache.
+
+    The cache tracks tags and dirty bits only — data values live in the
+    simulator's flat memory model.  ``access`` performs the tag lookup,
+    the LRU update, and (on a miss) the fill with victim selection, and
+    reports whether a dirty victim needs writing back.
+    """
+
+    geometry: CacheGeometry
+    name: str = "cache"
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        # Each set is a list of _Line in LRU order (front = LRU victim,
+        # back = most recently used).
+        self._sets: list[list[_Line]] = [[] for _ in range(self.geometry.num_sets)]
+
+    def lookup(self, address: int) -> bool:
+        """Non-modifying presence check (no LRU update, no stats)."""
+        target_tag = self.geometry.tag(address)
+        return any(line.tag == target_tag for line in self._sets[self.geometry.set_index(address)])
+
+    def access(self, address: int, is_write: bool) -> CacheAccessResult:
+        """Access ``address``; allocate on miss; return hit/eviction info.
+
+        On a write hit the line is marked dirty.  On a miss the line is
+        filled (write-allocate) and, for writes, immediately marked dirty.
+        The caller (the hierarchy) is responsible for propagating the
+        miss and any dirty write-back to the next level.
+        """
+        cache_set = self._sets[self.geometry.set_index(address)]
+        target_tag = self.geometry.tag(address)
+        self.stats.accesses += 1
+
+        for position, line in enumerate(cache_set):
+            if line.tag == target_tag:
+                self.stats.hits += 1
+                if is_write:
+                    line.dirty = True
+                # Move to MRU position.
+                cache_set.append(cache_set.pop(position))
+                return CacheAccessResult(hit=True)
+
+        self.stats.misses += 1
+        self.stats.fills += 1
+        evicted_line: int | None = None
+        evicted_dirty = False
+        if len(cache_set) >= self.geometry.ways:
+            victim = cache_set.pop(0)
+            self.stats.evictions += 1
+            evicted_dirty = victim.dirty
+            if evicted_dirty:
+                self.stats.dirty_evictions += 1
+            set_index = self.geometry.set_index(address)
+            evicted_line = (
+                victim.tag * self.geometry.num_sets + set_index
+            ) * self.geometry.line_bytes
+        cache_set.append(_Line(target_tag, dirty=is_write))
+        return CacheAccessResult(
+            hit=False, evicted_line=evicted_line, evicted_dirty=evicted_dirty
+        )
+
+    def invalidate_all(self) -> None:
+        """Drop every line (used between independent measurements)."""
+        self._sets = [[] for _ in range(self.geometry.num_sets)]
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def dirty_lines(self) -> int:
+        """Number of dirty lines currently held."""
+        return sum(
+            1 for cache_set in self._sets for line in cache_set if line.dirty
+        )

@@ -1,0 +1,63 @@
+"""The microarchitectural components whose activity the simulator tracks.
+
+Every component here is a potential EM emitter: switching activity on it
+drives currents whose fields couple (with component-specific strength and
+field structure) into the attacker's antenna.  The set is chosen so that
+each of the paper's eleven events excites a distinct activity profile:
+
+* ``FETCH``/``DECODE``/``REGFILE`` — front-end work, identical for the
+  surrounding (not-under-test) code of every event.
+* ``ALU``/``MUL``/``DIV``/``AGU`` — execution units; the iterative
+  divider stays busy for tens of cycles, which is why DIV can be "loud".
+* ``BPRED`` — branch-direction predictor; mispredictions also replay
+  fetch/decode activity (the Section VII branch events).
+* ``L1D``/``L2``/``WB_BUFFER`` — on-chip memory structures.  STL2's
+  dirty-eviction double access to L2 shows up here mechanistically.
+* ``MEM_BUS``/``DRAM`` — off-chip structures; long board wires make them
+  efficient far-field antennas, which the EM model exploits to reproduce
+  the distance results.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Component(enum.Enum):
+    """An EM-relevant microarchitectural component."""
+
+    FETCH = "fetch"
+    DECODE = "decode"
+    REGFILE = "regfile"
+    ALU = "alu"
+    AGU = "agu"
+    MUL = "mul"
+    DIV = "div"
+    BPRED = "bpred"
+    L1D = "l1d"
+    L2 = "l2"
+    WB_BUFFER = "wb_buffer"
+    MEM_BUS = "mem_bus"
+    DRAM = "dram"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Canonical component ordering; activity arrays use this row order.
+COMPONENT_ORDER: tuple[Component, ...] = tuple(Component)
+
+#: Map from component to its row index in activity arrays.
+COMPONENT_INDEX: dict[Component, int] = {
+    component: index for index, component in enumerate(COMPONENT_ORDER)
+}
+
+#: Number of tracked components.
+NUM_COMPONENTS: int = len(COMPONENT_ORDER)
+
+#: Components physically located off-chip (package pins, board traces,
+#: DRAM devices).  The propagation model gives these a larger far-field
+#: fraction, reproducing the paper's 50/100 cm observations.
+OFF_CHIP_COMPONENTS: frozenset[Component] = frozenset(
+    {Component.MEM_BUS, Component.DRAM}
+)

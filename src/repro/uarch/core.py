@@ -1,0 +1,422 @@
+"""Cycle-level in-order core: executes programs and records activity.
+
+The core is a functional-plus-timing interpreter.  It executes the
+x86-like subset architecturally (registers, flags, flat memory) while
+charging cycles and depositing per-component switching activity
+according to the machine's :class:`~repro.uarch.functional_units`
+models and the cache hierarchy's access reports.
+
+Modeling choices (documented trade-offs):
+
+* **In-order, blocking.**  The alternation kernels are tight dependent
+  loops, so out-of-order overlap would mostly hide L1 latency; we model
+  that by charging L1 hits a single effective cycle while charging L2
+  and off-chip accesses their full latency.
+* **Two-bit branch prediction.**  The kernel's loop branches are
+  monotonically taken and predict almost perfectly after warm-up; the
+  predictor model exists for the Section VII branch events (BRH/BRM),
+  where mispredictions flush the front end with a visible activity
+  burst.
+* **Write-back buffering.**  Dirty write-backs cost activity (L2/bus/
+  DRAM switching) but no demand latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa.instructions import (
+    Immediate,
+    Instruction,
+    MemoryOperand,
+    Opcode,
+    Operand,
+    Register,
+    WORD_MASK,
+)
+from repro.isa.program import Program
+from repro.uarch.activity import ActivityRecorder, ActivityTrace
+from repro.uarch.branch import BranchPredictor
+from repro.uarch.cache import CacheGeometry
+from repro.uarch.components import Component
+from repro.uarch.functional_units import ActivityModel, FunctionalUnitTimings
+from repro.uarch.hierarchy import MemoryHierarchy, MemoryLatencies
+
+#: Default cap on executed instructions, as a runaway-loop backstop.
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+
+@dataclass
+class ExecutionStats:
+    """Counters describing one simulation run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    opcode_counts: dict[Opcode, int] = field(default_factory=dict)
+    level_counts: dict[str, int] = field(default_factory=dict)
+    test_instructions: int = 0
+
+    def count_opcode(self, opcode: Opcode) -> None:
+        self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + 1
+
+    def count_level(self, level: str) -> None:
+        self.level_counts[level] = self.level_counts.get(level, 0) + 1
+
+
+@dataclass
+class SimulationResult:
+    """Trace plus statistics from one :meth:`Core.run` call."""
+
+    trace: ActivityTrace
+    stats: ExecutionStats
+    registers: dict[str, int]
+
+    @property
+    def cycles(self) -> int:
+        """Total simulated cycles."""
+        return self.stats.cycles
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated wall-clock duration in seconds."""
+        return self.trace.duration_s
+
+
+class Core:
+    """An in-order core bound to a cache hierarchy and activity models."""
+
+    def __init__(
+        self,
+        clock_hz: float,
+        l1_geometry: CacheGeometry,
+        l2_geometry: CacheGeometry,
+        latencies: MemoryLatencies | None = None,
+        timings: FunctionalUnitTimings | None = None,
+        activity: ActivityModel | None = None,
+    ) -> None:
+        if clock_hz <= 0:
+            raise SimulationError(f"clock frequency must be positive, got {clock_hz}")
+        self.clock_hz = clock_hz
+        self.timings = timings or FunctionalUnitTimings()
+        self.activity = activity or ActivityModel()
+        self.hierarchy = MemoryHierarchy(
+            l1_geometry, l2_geometry, latencies or MemoryLatencies()
+        )
+        self.predictor = BranchPredictor()
+        self.registers: dict[str, int] = {}
+        self.memory: dict[int, int] = {}
+        self.zero_flag = False
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear architectural and microarchitectural state."""
+        self.registers = {
+            name: 0 for name in ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
+        }
+        self.memory = {}
+        self.zero_flag = False
+        self.hierarchy.reset()
+        self.predictor.reset()
+
+    # ------------------------------------------------------------------
+    # Operand helpers
+    # ------------------------------------------------------------------
+    def _read(self, operand: Operand) -> int:
+        if isinstance(operand, Register):
+            return self.registers[operand.name]
+        if isinstance(operand, Immediate):
+            return operand.value & WORD_MASK
+        raise SimulationError(f"cannot read operand {operand!r} directly")
+
+    def _write_register(self, operand: Operand | None, value: int) -> None:
+        if not isinstance(operand, Register):
+            raise SimulationError(f"destination must be a register, got {operand!r}")
+        self.registers[operand.name] = value & WORD_MASK
+
+    def effective_address(self, operand: MemoryOperand) -> int:
+        """Compute the byte address of a memory operand."""
+        address = operand.displacement
+        if operand.base is not None:
+            address += self.registers[operand.base.name]
+        if operand.index is not None:
+            address += self.registers[operand.index.name] * operand.scale
+        return address & WORD_MASK
+
+    def _set_zero_flag(self, value: int) -> None:
+        self.zero_flag = (value & WORD_MASK) == 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Program,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        warm_hierarchy: bool = False,
+    ) -> SimulationResult:
+        """Execute ``program`` until HALT or falling off the end.
+
+        Parameters
+        ----------
+        program:
+            The program to run.
+        max_instructions:
+            Backstop against runaway loops; exceeding it raises
+            :class:`SimulationError`.
+        warm_hierarchy:
+            If False (default) the cache hierarchy is reset first.  Pass
+            True to keep existing cache state — the measurement path
+            runs a warm-up pass and then measures in steady state, like
+            the paper's free-running alternation loop.
+        """
+        if not warm_hierarchy:
+            self.hierarchy.reset()
+        recorder = ActivityRecorder(self.clock_hz)
+        stats = ExecutionStats()
+        timings = self.timings
+        activity = self.activity
+        cycle = 0
+        pc = 0
+        program_length = len(program)
+
+        while pc < program_length:
+            instruction = program[pc]
+            opcode = instruction.opcode
+            if opcode is Opcode.HALT:
+                break
+            if stats.instructions >= max_instructions:
+                raise SimulationError(
+                    f"program {program.name!r} exceeded {max_instructions} instructions; "
+                    "missing halt or runaway loop?"
+                )
+
+            # Front-end work: identical for every instruction.
+            recorder.add(Component.FETCH, cycle, 1, activity.fetch)
+            recorder.add(Component.DECODE, cycle, 1, activity.decode)
+            recorder.add(Component.REGFILE, cycle, 1, activity.regfile)
+
+            next_pc = pc + 1
+            duration = self._execute(instruction, cycle, recorder, stats)
+            if instruction.is_branch:
+                taken = (
+                    opcode is Opcode.JMP
+                    or (opcode is Opcode.JNZ and not self.zero_flag)
+                    or (opcode is Opcode.JZ and self.zero_flag)
+                )
+                if taken:
+                    next_pc = program.label_index(instruction.target)  # type: ignore[arg-type]
+                recorder.add(Component.BPRED, cycle, 1, activity.bpred_lookup)
+                if opcode is not Opcode.JMP:  # conditional: direction predicted
+                    mispredicted = self.predictor.record(pc, taken)
+                    if mispredicted:
+                        penalty = timings.branch_mispredict_cycles
+                        duration += penalty
+                        # Flush and refetch: the front end replays work.
+                        recorder.add(
+                            Component.FETCH,
+                            cycle + 1,
+                            penalty,
+                            activity.flush_refetch / penalty,
+                        )
+                        recorder.add(
+                            Component.DECODE,
+                            cycle + 1,
+                            penalty,
+                            activity.flush_refetch / penalty,
+                        )
+
+            stats.instructions += 1
+            stats.count_opcode(opcode)
+            if instruction.role == "test":
+                stats.test_instructions += 1
+            cycle += duration
+            pc = next_pc
+
+        stats.cycles = cycle
+        trace = recorder.finish(max(cycle, 1))
+        return SimulationResult(trace=trace, stats=stats, registers=dict(self.registers))
+
+    def _execute(
+        self,
+        instruction: Instruction,
+        cycle: int,
+        recorder: ActivityRecorder,
+        stats: ExecutionStats,
+    ) -> int:
+        """Apply one instruction's semantics; return its cycle cost."""
+        opcode = instruction.opcode
+        timings = self.timings
+        activity = self.activity
+
+        if opcode is Opcode.NOP:
+            return timings.nop_cycles
+
+        if opcode is Opcode.MOV:
+            recorder.add(Component.ALU, cycle, 1, activity.mov_op)
+            self._write_register(instruction.dest, self._read(instruction.src))
+            return timings.mov_cycles
+
+        if opcode in (Opcode.CMOVZ, Opcode.CMOVNZ):
+            # Conditional move: identical timing and switching activity
+            # whether or not the move commits - the microarchitectural
+            # property that makes branchless code constant-signal.
+            recorder.add(Component.ALU, cycle, 1, activity.alu_op)
+            condition = self.zero_flag if opcode is Opcode.CMOVZ else not self.zero_flag
+            if condition:
+                self._write_register(instruction.dest, self._read(instruction.src))
+            return timings.mov_cycles
+
+        if opcode in (
+            Opcode.ADD,
+            Opcode.SUB,
+            Opcode.AND,
+            Opcode.OR,
+            Opcode.XOR,
+            Opcode.SHL,
+            Opcode.SHR,
+        ):
+            recorder.add(Component.ALU, cycle, timings.alu_cycles, activity.alu_op)
+            left = self._read(instruction.dest)
+            right = self._read(instruction.src)
+            result = self._alu(opcode, left, right)
+            self._write_register(instruction.dest, result)
+            self._set_zero_flag(result)
+            return timings.alu_cycles
+
+        if opcode in (Opcode.INC, Opcode.DEC):
+            recorder.add(Component.ALU, cycle, timings.alu_cycles, activity.alu_op)
+            delta = 1 if opcode is Opcode.INC else -1
+            result = (self._read(instruction.dest) + delta) & WORD_MASK
+            self._write_register(instruction.dest, result)
+            self._set_zero_flag(result)
+            return timings.alu_cycles
+
+        if opcode in (Opcode.CMP, Opcode.TEST):
+            recorder.add(Component.ALU, cycle, timings.alu_cycles, activity.alu_op)
+            left = self._read(instruction.dest)
+            right = self._read(instruction.src)
+            if opcode is Opcode.CMP:
+                self._set_zero_flag((left - right) & WORD_MASK)
+            else:
+                self._set_zero_flag(left & right)
+            return timings.alu_cycles
+
+        if opcode is Opcode.LEA:
+            recorder.add(Component.AGU, cycle, timings.lea_cycles, activity.agu_op)
+            if not isinstance(instruction.src, MemoryOperand):
+                raise SimulationError(f"lea source must be a memory operand: {instruction}")
+            self._write_register(instruction.dest, self.effective_address(instruction.src))
+            return timings.lea_cycles
+
+        if opcode is Opcode.IMUL:
+            recorder.add(Component.MUL, cycle, timings.mul_cycles, activity.mul_per_cycle)
+            result = (self._read(instruction.dest) * self._read(instruction.src)) & WORD_MASK
+            self._write_register(instruction.dest, result)
+            self._set_zero_flag(result)
+            return timings.mul_cycles
+
+        if opcode is Opcode.IDIV:
+            recorder.add(Component.DIV, cycle, timings.div_cycles, activity.div_per_cycle)
+            divisor = self._read(instruction.dest)
+            if divisor == 0:
+                # Architecturally this faults; the measurement kernels
+                # guarantee a non-zero divisor, and the demo workloads
+                # prefer a defined result over a modeled exception.
+                divisor = 1
+            dividend = self.registers["eax"]
+            self.registers["eax"] = (dividend // divisor) & WORD_MASK
+            self.registers["edx"] = (dividend % divisor) & WORD_MASK
+            self._set_zero_flag(self.registers["eax"])
+            return timings.div_cycles
+
+        if opcode is Opcode.LOAD:
+            return self._execute_memory(instruction, cycle, recorder, stats, is_write=False)
+
+        if opcode is Opcode.STORE:
+            return self._execute_memory(instruction, cycle, recorder, stats, is_write=True)
+
+        if instruction.is_branch:
+            return timings.branch_cycles
+
+        raise SimulationError(f"unimplemented opcode {opcode!r}")
+
+    @staticmethod
+    def _alu(opcode: Opcode, left: int, right: int) -> int:
+        if opcode is Opcode.ADD:
+            return (left + right) & WORD_MASK
+        if opcode is Opcode.SUB:
+            return (left - right) & WORD_MASK
+        if opcode is Opcode.AND:
+            return left & right
+        if opcode is Opcode.OR:
+            return left | right
+        if opcode is Opcode.XOR:
+            return left ^ right
+        if opcode is Opcode.SHL:
+            return (left << (right & 31)) & WORD_MASK
+        if opcode is Opcode.SHR:
+            return (left & WORD_MASK) >> (right & 31)
+        raise SimulationError(f"not an ALU opcode: {opcode!r}")
+
+    def _execute_memory(
+        self,
+        instruction: Instruction,
+        cycle: int,
+        recorder: ActivityRecorder,
+        stats: ExecutionStats,
+        is_write: bool,
+    ) -> int:
+        activity = self.activity
+        latencies = self.hierarchy.latencies
+        operand = instruction.dest if is_write else instruction.src
+        if not isinstance(operand, MemoryOperand):
+            raise SimulationError(f"memory instruction without memory operand: {instruction}")
+        address = self.effective_address(operand)
+
+        recorder.add(Component.AGU, cycle, 1, activity.agu_op)
+        recorder.add(Component.L1D, cycle, 1, activity.l1_access)
+        if is_write:
+            recorder.add(Component.WB_BUFFER, cycle, 1, activity.wb_buffer)
+
+        report = self.hierarchy.access(address, is_write)
+        stats.count_level(report.level)
+
+        if report.level == "L1":
+            duration = 1  # pipelined L1 hit
+        else:
+            # Fill activity into L1 plus L2 array activity, spread over
+            # the L2 access window.
+            recorder.add(Component.L1D, cycle, 1, activity.l1_fill)
+            l2_window = max(latencies.l2_cycles, 1)
+            for access_index in range(report.l2_accesses):
+                recorder.add(
+                    Component.L2,
+                    cycle + access_index,
+                    l2_window,
+                    activity.l2_access / l2_window,
+                )
+            duration = latencies.l2_cycles
+            if report.level == "MEM":
+                duration = latencies.memory_cycles
+            if report.offchip_transfers:
+                bus_window = max(latencies.memory_cycles // 2, 1)
+                recorder.add(
+                    Component.MEM_BUS,
+                    cycle,
+                    bus_window,
+                    report.offchip_transfers * activity.bus_per_transfer / bus_window,
+                )
+                recorder.add(
+                    Component.DRAM,
+                    cycle,
+                    bus_window,
+                    report.offchip_transfers * activity.dram_per_transfer / bus_window,
+                )
+
+        # Architectural data movement.
+        if is_write:
+            self.memory[address] = self._read(instruction.src) & WORD_MASK
+        else:
+            self._write_register(instruction.dest, self.memory.get(address, 0))
+        return duration

@@ -1,0 +1,87 @@
+"""Execution-unit timing and switching-activity models.
+
+Two small value objects parameterize the core:
+
+* :class:`FunctionalUnitTimings` — how many cycles each class of
+  operation occupies the (in-order, blocking) pipeline.  The iterative
+  integer divider is the stand-out: it stays busy for tens of cycles,
+  which — combined with its per-cycle switching activity — is the
+  mechanistic reason DIV can be far "louder" than ADD/SUB/MUL, as the
+  paper observes on all three machines.
+* :class:`ActivityModel` — how much abstract switching activity each
+  operation deposits on each component per cycle.  Absolute scale is
+  irrelevant (the calibrated EM couplings absorb it); only the *profile*
+  across components matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FunctionalUnitTimings:
+    """Occupancy (cycles) of each operation class.
+
+    Defaults are representative of mid-2000s x86 laptop cores; the
+    machine catalog overrides them per machine (e.g. the Pentium 3 M's
+    slower divider).
+    """
+
+    alu_cycles: int = 1
+    mov_cycles: int = 1
+    lea_cycles: int = 1
+    mul_cycles: int = 4
+    div_cycles: int = 22
+    branch_cycles: int = 1
+    branch_mispredict_cycles: int = 12
+    nop_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "alu_cycles",
+            "mov_cycles",
+            "lea_cycles",
+            "mul_cycles",
+            "div_cycles",
+            "branch_cycles",
+            "branch_mispredict_cycles",
+            "nop_cycles",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+
+@dataclass(frozen=True)
+class ActivityModel:
+    """Switching-activity quanta deposited by each operation class.
+
+    Units are abstract "toggle units"; see the module docstring.  The
+    per-cycle entries (``mul_per_cycle``, ``div_per_cycle``) multiply the
+    unit's occupancy, so a 22-cycle divide deposits ~22x more divider
+    activity than a 1-cycle add deposits ALU activity.
+    """
+
+    fetch: float = 1.0
+    decode: float = 1.0
+    regfile: float = 0.5
+    alu_op: float = 1.0
+    mov_op: float = 0.5
+    agu_op: float = 1.0
+    mul_per_cycle: float = 1.5
+    div_per_cycle: float = 1.2
+    bpred_lookup: float = 0.3
+    flush_refetch: float = 3.0
+    l1_access: float = 1.0
+    l1_fill: float = 1.5
+    l2_access: float = 4.0
+    wb_buffer: float = 0.5
+    bus_per_transfer: float = 8.0
+    dram_per_transfer: float = 6.0
+
+    def __post_init__(self) -> None:
+        for name, value in vars(self).items():
+            if value < 0:
+                raise ConfigurationError(f"activity quantum {name} must be >= 0, got {value}")

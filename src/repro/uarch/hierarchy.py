@@ -1,0 +1,160 @@
+"""Two-level cache hierarchy with an off-chip memory behind it.
+
+The hierarchy stitches the L1 and L2 :class:`~repro.uarch.cache.Cache`
+models together with a flat DRAM and reports, for every access, which
+level serviced it, how long it took, and how much secondary traffic
+(fills, dirty write-backs, off-chip line transfers) it generated.  The
+core turns that report into latency and per-component activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.uarch.cache import Cache, CacheGeometry
+
+
+@dataclass(frozen=True)
+class MemoryLatencies:
+    """Access latencies (cycles) for each level of the hierarchy."""
+
+    l1_cycles: int = 3
+    l2_cycles: int = 14
+    memory_cycles: int = 200
+
+    def __post_init__(self) -> None:
+        if not (0 < self.l1_cycles <= self.l2_cycles <= self.memory_cycles):
+            raise ConfigurationError(
+                "latencies must satisfy 0 < L1 <= L2 <= memory, got "
+                f"{self.l1_cycles}/{self.l2_cycles}/{self.memory_cycles}"
+            )
+
+
+@dataclass
+class MemoryAccessReport:
+    """Everything a single load/store did to the memory system.
+
+    Attributes
+    ----------
+    level:
+        ``"L1"``, ``"L2"`` or ``"MEM"`` — the level that serviced the
+        demand access.
+    latency_cycles:
+        Cycles the access stalls the (in-order, blocking) pipeline.
+    l2_accesses:
+        Number of L2 array accesses generated (demand fill and/or dirty
+        L1 write-back).  The paper's STL2 discussion — each store that
+        misses L1 but hits L2 causes *two* L2 accesses — shows up here.
+    offchip_transfers:
+        Number of full cache-line transfers on the processor-memory bus
+        (demand fills from DRAM plus dirty L2 write-backs).
+    l1_writeback:
+        True if a dirty L1 victim was written back to L2.
+    l2_writeback:
+        True if a dirty L2 victim was written back to DRAM.
+    """
+
+    level: str
+    latency_cycles: int
+    l2_accesses: int = 0
+    offchip_transfers: int = 0
+    l1_writeback: bool = False
+    l2_writeback: bool = False
+
+
+@dataclass
+class MemoryHierarchy:
+    """L1 -> L2 -> DRAM, write-back/write-allocate at both cache levels."""
+
+    l1_geometry: CacheGeometry
+    l2_geometry: CacheGeometry
+    latencies: MemoryLatencies = field(default_factory=MemoryLatencies)
+
+    def __post_init__(self) -> None:
+        if self.l2_geometry.size_bytes < self.l1_geometry.size_bytes:
+            raise ConfigurationError(
+                "L2 must be at least as large as L1 "
+                f"({self.l2_geometry.size_bytes} < {self.l1_geometry.size_bytes})"
+            )
+        if self.l1_geometry.line_bytes != self.l2_geometry.line_bytes:
+            raise ConfigurationError("L1 and L2 must share a line size in this model")
+        self.l1 = Cache(self.l1_geometry, name="L1D")
+        self.l2 = Cache(self.l2_geometry, name="L2")
+        self.offchip_accesses = 0
+
+    @property
+    def line_bytes(self) -> int:
+        """Cache line size shared by both levels."""
+        return self.l1_geometry.line_bytes
+
+    def access(self, address: int, is_write: bool) -> MemoryAccessReport:
+        """Perform one data access and report its hierarchy behaviour."""
+        l1_result = self.l1.access(address, is_write)
+        if l1_result.hit:
+            return MemoryAccessReport(level="L1", latency_cycles=self.latencies.l1_cycles)
+
+        l2_accesses = 0
+        offchip = 0
+        l2_writeback = False
+
+        # Dirty L1 victim is written back into L2 before/while the fill
+        # proceeds (no extra demand latency: write-back buffers hide it,
+        # but the switching activity is real).
+        l1_writeback = l1_result.evicted_dirty
+        if l1_writeback:
+            assert l1_result.evicted_line is not None
+            wb_result = self.l2.access(l1_result.evicted_line, is_write=True)
+            l2_accesses += 1
+            if not wb_result.hit:
+                # The victim's line had itself been evicted from L2; the
+                # write-back allocates in L2 and may push a dirty L2 line
+                # off-chip.
+                if wb_result.evicted_dirty:
+                    offchip += 1
+                    l2_writeback = True
+                    self.offchip_accesses += 1
+
+        # Demand fill from L2 (or beyond).
+        l2_result = self.l2.access(address, is_write=False)
+        l2_accesses += 1
+        if l2_result.hit:
+            level = "L2"
+            latency = self.latencies.l2_cycles
+        else:
+            level = "MEM"
+            latency = self.latencies.memory_cycles
+            offchip += 1
+            self.offchip_accesses += 1
+            if l2_result.evicted_dirty:
+                offchip += 1
+                l2_writeback = True
+                self.offchip_accesses += 1
+
+        return MemoryAccessReport(
+            level=level,
+            latency_cycles=latency,
+            l2_accesses=l2_accesses,
+            offchip_transfers=offchip,
+            l1_writeback=l1_writeback,
+            l2_writeback=l2_writeback,
+        )
+
+    def warm(self, addresses: list[int], is_write: bool) -> None:
+        """Touch ``addresses`` once each to pre-condition cache state.
+
+        The measurement methodology runs the alternation loop long before
+        the instrument starts recording, so the caches are in steady
+        state; tests and the measurement path use ``warm`` to reach that
+        steady state without simulating the warm-up cycles.
+        """
+        for address in addresses:
+            self.access(address, is_write)
+
+    def reset(self) -> None:
+        """Invalidate both caches and clear counters."""
+        self.l1.invalidate_all()
+        self.l2.invalidate_all()
+        self.l1.stats.__init__()
+        self.l2.stats.__init__()
+        self.offchip_accesses = 0

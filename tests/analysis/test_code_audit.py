@@ -1,0 +1,128 @@
+"""Tests for the static SAVAT code audit."""
+
+import pytest
+
+from repro.analysis.code_audit import (
+    audit_program,
+    audit_report,
+    instruction_event,
+)
+from repro.core.matrix import SavatMatrix
+from repro.errors import ConfigurationError
+from repro.isa.assembler import assemble
+from repro.isa.events import EVENT_ORDER
+from repro.isa.instructions import Instruction, Opcode, imm, mem, reg
+from repro.machines.reference_data import CORE2DUO_10CM
+
+#: A square-and-multiply-ish kernel: the secret-bit branch selects
+#: between a path with a table load + divide and a plain path.
+LEAKY_SOURCE = """
+    test ebx, 1
+    jz bit_is_zero
+    mov eax, [esi]        ; table fetch (1-bit path)
+    imul eax, 40503
+    mov ebp, 65537
+    idiv ebp
+bit_is_zero:
+    add edx, 1
+    halt
+"""
+
+#: The compensated version: both paths execute the same event bag.
+BALANCED_SOURCE = """
+    test ebx, 1
+    jz bit_is_zero
+    add eax, 7
+    add edx, 3
+    jmp join
+bit_is_zero:
+    add eax, 9
+    add edx, 5
+join:
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def matrix() -> SavatMatrix:
+    return SavatMatrix(EVENT_ORDER, CORE2DUO_10CM.values_zj, "core2duo", 0.10)
+
+
+class TestInstructionEvent:
+    def test_alu_maps_to_add(self):
+        instruction = Instruction(Opcode.XOR, dest=reg("eax"), src=imm(1))
+        assert instruction_event(instruction) == "ADD"
+
+    def test_load_worst_case(self):
+        instruction = Instruction(Opcode.LOAD, dest=reg("eax"), src=mem("esi"))
+        assert instruction_event(instruction) == "LDM"
+        assert instruction_event(instruction, memory_assumption="L1") == "LDL1"
+
+    def test_store_assumption(self):
+        instruction = Instruction(Opcode.STORE, dest=mem("esi"), src=imm(1))
+        assert instruction_event(instruction, memory_assumption="L2") == "STL2"
+
+    def test_branch_maps_to_none(self):
+        assert instruction_event(Instruction(Opcode.JMP, target="x")) is None
+
+    def test_unknown_assumption_rejected(self):
+        instruction = Instruction(Opcode.LOAD, dest=reg("eax"), src=mem("esi"))
+        with pytest.raises(ConfigurationError):
+            instruction_event(instruction, memory_assumption="L9")
+
+
+class TestAuditProgram:
+    def test_leaky_branch_flagged(self, matrix):
+        program = assemble(LEAKY_SOURCE)
+        risks = audit_program(program, matrix)
+        assert len(risks) == 1
+        risk = risks[0]
+        # The taken path (bit 0) is the short one; fallthrough has the
+        # load + div.
+        assert "LDM" in risk.fallthrough_events
+        assert "DIV" in risk.fallthrough_events
+        floor = float(matrix.symmetrized().diagonal().mean())
+        assert risk.savat_estimate_zj > 4 * floor
+
+    def test_balanced_branch_scores_floor(self, matrix):
+        program = assemble(BALANCED_SOURCE)
+        risks = audit_program(program, matrix)
+        assert len(risks) == 1
+        floor = float(matrix.symmetrized().diagonal().mean())
+        assert risks[0].savat_estimate_zj <= 2 * floor
+
+    def test_risks_sorted_loudest_first(self, matrix):
+        source = LEAKY_SOURCE.replace("halt", "") + BALANCED_SOURCE.replace(
+            "bit_is_zero", "second_zero"
+        ).replace("join", "join2")
+        program = assemble(source)
+        risks = audit_program(program, matrix)
+        assert len(risks) == 2
+        assert risks[0].savat_estimate_zj >= risks[1].savat_estimate_zj
+
+    def test_loop_backedges_ignored(self, matrix):
+        program = assemble("mov ecx, 4\ntop: dec ecx\njnz top\nhalt")
+        assert audit_program(program, matrix) == []
+
+    def test_memory_assumption_changes_score(self, matrix):
+        program = assemble(LEAKY_SOURCE)
+        worst = audit_program(program, matrix, memory_assumption="MEMORY")
+        mild = audit_program(program, matrix, memory_assumption="L1")
+        assert worst[0].savat_estimate_zj > mild[0].savat_estimate_zj
+
+    def test_invalid_horizon_rejected(self, matrix):
+        with pytest.raises(ConfigurationError):
+            audit_program(assemble("halt"), matrix, horizon=0)
+
+
+class TestAuditReport:
+    def test_verdicts(self, matrix):
+        floor = float(matrix.symmetrized().diagonal().mean())
+        leaky = audit_program(assemble(LEAKY_SOURCE), matrix)
+        text = audit_report(leaky, floor)
+        assert "LEAKS" in text
+        balanced = audit_program(assemble(BALANCED_SOURCE), matrix)
+        assert "BALANCED" in audit_report(balanced, floor)
+
+    def test_no_branches_message(self, matrix):
+        assert "no conditional branches" in audit_report([], 0.7)

@@ -1,0 +1,76 @@
+"""Unit tests for the analysis statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    crossover_distance,
+    group_means,
+    matrix_correlations,
+    offdiagonal,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOffdiagonal:
+    def test_excludes_diagonal(self):
+        matrix = np.arange(9.0).reshape(3, 3)
+        values = offdiagonal(matrix)
+        assert len(values) == 6
+        assert 0.0 not in values  # matrix[0,0]
+        assert 4.0 not in values  # matrix[1,1]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            offdiagonal(np.ones((2, 3)))
+
+
+class TestMatrixCorrelations:
+    def test_identical_matrices(self):
+        matrix = np.random.default_rng(0).uniform(1, 5, (4, 4))
+        stats = matrix_correlations(matrix, matrix)
+        assert stats["pearson"] == pytest.approx(1.0)
+        assert stats["spearman"] == pytest.approx(1.0)
+        assert stats["mean_relative_error"] == pytest.approx(0.0)
+
+    def test_scaled_matrix_keeps_correlation(self):
+        matrix = np.random.default_rng(1).uniform(1, 5, (4, 4))
+        stats = matrix_correlations(2.0 * matrix, matrix)
+        assert stats["pearson"] == pytest.approx(1.0)
+        assert stats["mean_relative_error"] == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        matrix = np.random.default_rng(2).uniform(1, 5, (4, 4))
+        stats = matrix_correlations(-matrix, matrix)
+        assert stats["pearson"] == pytest.approx(-1.0)
+
+
+class TestGroupMeans:
+    def test_intra_and_inter(self):
+        labels = ["A", "B", "C"]
+        matrix = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 5.0], [5.0, 5.0, 0.0]])
+        groups = {"close": ["A", "B"], "far": ["C"]}
+        means = group_means(matrix, labels, groups)
+        assert means[("close", "close")] == pytest.approx(1.0)  # A-B both ways
+        assert means[("close", "far")] == pytest.approx(5.0)
+        assert ("far", "far") not in means  # only the self-pair, excluded
+
+
+class TestCrossoverDistance:
+    def test_crossing_series(self):
+        distances = [0.1, 0.5, 1.0]
+        values_a = [10.0, 2.0, 0.5]
+        values_b = [5.0, 3.0, 2.0]
+        crossover = crossover_distance(distances, values_a, values_b)
+        assert crossover is not None
+        assert 0.1 < crossover < 0.5
+
+    def test_no_crossing(self):
+        assert crossover_distance([0.1, 1.0], [10.0, 5.0], [1.0, 0.5]) is None
+
+    def test_exact_tie_returns_that_distance(self):
+        assert crossover_distance([0.1, 1.0], [5.0, 1.0], [5.0, 2.0]) == 0.1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            crossover_distance([0.1], [1.0], [2.0])

@@ -1,0 +1,94 @@
+"""Unit tests for the terminal visualizations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualize import (
+    SHADE_RAMP,
+    bar_chart,
+    grayscale_matrix,
+    matrix_table,
+    shade,
+    spectrum_plot,
+)
+from repro.errors import ConfigurationError
+
+
+class TestShade:
+    def test_extremes(self):
+        assert shade(0.0, 0.0, 1.0) == SHADE_RAMP[0]
+        assert shade(1.0, 0.0, 1.0) == SHADE_RAMP[-1]
+
+    def test_clipped(self):
+        assert shade(5.0, 0.0, 1.0) == SHADE_RAMP[-1]
+        assert shade(-5.0, 0.0, 1.0) == SHADE_RAMP[0]
+
+    def test_degenerate_range(self):
+        assert shade(1.0, 2.0, 2.0) == SHADE_RAMP[0]
+
+
+class TestMatrixTable:
+    def test_contains_labels_and_values(self):
+        text = matrix_table(np.array([[1.5, 2.0], [3.0, 4.0]]), ["A", "B"], "Title")
+        assert "Title" in text
+        assert "A" in text
+        assert "1.5" in text
+        assert "4.0" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            matrix_table(np.ones((2, 3)), ["A", "B"])
+
+
+class TestGrayscaleMatrix:
+    def test_extremes_rendered(self):
+        values = np.array([[0.0, 10.0], [5.0, 0.0]])
+        text = grayscale_matrix(values, ["AA", "BB"])
+        assert SHADE_RAMP[-1] * 2 in text  # black cell
+        assert "white = 0.0" in text
+        assert "black = 10.0" in text
+
+    def test_row_per_label(self):
+        values = np.eye(3)
+        text = grayscale_matrix(values, ["A", "B", "C"])
+        assert len(text.splitlines()) == 3 + 2  # header + rows + legend
+
+
+class TestBarChart:
+    def test_values_and_labels_present(self):
+        text = bar_chart([("ADD/LDM", 4.2), ("ADD/ADD", 0.7)], title="Fig")
+        assert "ADD/LDM" in text
+        assert "4.20 zJ" in text
+
+    def test_bar_lengths_proportional(self):
+        text = bar_chart([("big", 10.0), ("small", 1.0)], width=50)
+        lines = text.splitlines()
+        big_bar = lines[0].count("#")
+        small_bar = lines[1].count("#")
+        assert big_bar == 50
+        assert small_bar == pytest.approx(5, abs=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([("x", 1.0)], width=2)
+
+
+class TestSpectrumPlot:
+    def test_renders_peak(self):
+        freqs = np.linspace(78e3, 82e3, 1000)
+        psd = np.full(1000, 1e-17)
+        psd[500] = 1e-15
+        text = spectrum_plot(freqs, psd, title="Fig 7")
+        assert "Fig 7" in text
+        assert "78.0 kHz" in text
+        assert "#" in text
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spectrum_plot(np.arange(10.0), np.arange(5.0))
+        with pytest.raises(ConfigurationError):
+            spectrum_plot(np.arange(10.0), np.arange(10.0), height=1)

@@ -1,0 +1,75 @@
+"""Unit tests for the square-and-multiply victim."""
+
+import pytest
+
+from repro.attacks.modexp import (
+    block_schedule,
+    multiply_block_program,
+    simulate_victim,
+    square_block_program,
+)
+from repro.errors import ConfigurationError
+from repro.isa.instructions import Opcode
+from repro.uarch.components import Component
+
+
+class TestBlockSchedule:
+    def test_zero_bit_is_square_only(self):
+        assert block_schedule([0]) == ["square"]
+
+    def test_one_bit_adds_multiply(self):
+        assert block_schedule([1]) == ["square", "multiply"]
+
+    def test_mixed_key(self):
+        assert block_schedule([1, 0, 1]) == [
+            "square", "multiply", "square", "square", "multiply",
+        ]
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_schedule([])
+
+    def test_non_bit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_schedule([0, 2])
+
+
+class TestBlockPrograms:
+    def test_square_has_no_memory_access(self):
+        program = square_block_program(8)
+        assert not any(i.is_memory for i in program)
+
+    def test_multiply_fetches_from_table(self):
+        program = multiply_block_program(8)
+        loads = [i for i in program if i.opcode is Opcode.LOAD]
+        assert len(loads) == 8
+
+    def test_both_blocks_reduce_with_idiv(self):
+        for program in (square_block_program(4), multiply_block_program(4)):
+            assert any(i.opcode is Opcode.IDIV for i in program)
+
+
+@pytest.mark.slow
+class TestSimulateVictim:
+    def test_boundaries_cover_trace(self, core2duo_10cm):
+        execution = simulate_victim(core2duo_10cm, [1, 0, 1], block_work=8)
+        assert execution.block_boundaries[0][0] == 0
+        assert execution.block_boundaries[-1][1] == execution.trace.num_cycles
+
+    def test_block_kinds_follow_schedule(self, core2duo_10cm):
+        execution = simulate_victim(core2duo_10cm, [1, 0], block_work=8)
+        kinds = [kind for _s, _e, kind in execution.block_boundaries]
+        assert kinds == ["square", "multiply", "square"]
+
+    def test_multiply_blocks_touch_memory(self, core2duo_10cm):
+        execution = simulate_victim(core2duo_10cm, [1], block_work=8)
+        (square_start, square_end, _), (mul_start, mul_end, _) = execution.block_boundaries
+        square_window = execution.trace.window(square_start, square_end)
+        multiply_window = execution.trace.window(mul_start, mul_end)
+        assert square_window.totals()[Component.L1D] == 0
+        assert multiply_window.totals()[Component.L1D] > 0
+
+    def test_one_bits_make_longer_traces(self, core2duo_10cm):
+        short = simulate_victim(core2duo_10cm, [0, 0, 0], block_work=8)
+        long = simulate_victim(core2duo_10cm, [1, 1, 1], block_work=8)
+        assert long.trace.num_cycles > short.trace.num_cycles

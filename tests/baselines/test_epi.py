@@ -1,0 +1,82 @@
+"""Tests for the energy-per-instruction baseline."""
+
+import pytest
+
+from repro.baselines.epi import (
+    epi_table,
+    measure_energy_per_instruction,
+    ranking_disagreement,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.slow
+class TestEpiMeasurement:
+    @pytest.fixture(scope="class")
+    def table(self, core2duo_10cm):
+        return epi_table(core2duo_10cm)
+
+    def test_all_events_measured(self, table):
+        assert len(table) == 10  # everything but NOI
+
+    def test_energies_positive_and_plausible(self, table):
+        for result in table.values():
+            assert 0 < result.energy_pj < 100_000
+
+    def test_offchip_burns_most(self, table):
+        """An off-chip access moves a cache line over board wires; it
+        must dominate register arithmetic by orders of magnitude."""
+        assert table["LDM"].energy_j > 20 * table["ADD"].energy_j
+
+    def test_store_to_memory_costs_more_than_load(self, table):
+        """STM's dirty write-backs move extra lines."""
+        assert table["STM"].energy_j > table["LDM"].energy_j
+
+    def test_cache_hierarchy_ordering(self, table):
+        assert table["LDM"].energy_j > table["LDL2"].energy_j > table["LDL1"].energy_j
+
+    def test_div_expensive_among_arithmetic(self, table):
+        assert table["DIV"].energy_j > table["ADD"].energy_j
+
+    def test_add_sub_equal(self, table):
+        assert table["ADD"].energy_j == pytest.approx(table["SUB"].energy_j, rel=0.05)
+
+    def test_string_accessors(self, core2duo_10cm):
+        result = measure_energy_per_instruction(core2duo_10cm, "MUL")
+        assert result.event == "MUL"
+        assert result.cycles_per_instruction > 0
+
+
+class TestRankingDisagreement:
+    def test_identical_rankings(self):
+        values = {"A": 1.0, "B": 2.0, "C": 3.0}
+        report = ranking_disagreement(values, values)
+        assert report["spearman"] == pytest.approx(1.0)
+        assert report["max_rank_gap"] == 0
+
+    def test_reversed_rankings(self):
+        epi = {"A": 1.0, "B": 2.0, "C": 3.0}
+        savat = {"A": 3.0, "B": 2.0, "C": 1.0}
+        report = ranking_disagreement(epi, savat)
+        assert report["spearman"] == pytest.approx(-1.0)
+        assert report["max_rank_gap"] == 2
+
+    def test_too_few_events_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ranking_disagreement({"A": 1.0}, {"A": 1.0})
+
+    @pytest.mark.slow
+    def test_epi_and_savat_rankings_differ(self, core2duo_10cm):
+        """The paper's §VI point: burning energy is not the same as
+        handing the attacker signal."""
+        from repro.machines.reference_data import CORE2DUO_10CM
+
+        table = epi_table(core2duo_10cm)
+        epi_values = {name: result.energy_j for name, result in table.items()}
+        # Single-instruction SAVAT vs ADD as the common reference.
+        savat_values = {
+            name: CORE2DUO_10CM.cell(name, "ADD") for name in epi_values
+        }
+        report = ranking_disagreement(epi_values, savat_values)
+        assert report["spearman"] < 0.98  # visibly imperfect agreement
+        assert report["max_rank_gap"] >= 2

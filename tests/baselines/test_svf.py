@@ -1,0 +1,92 @@
+"""Unit tests for the simplified SVF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.svf import (
+    compute_svf,
+    similarity_matrix,
+    window_features,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWindowFeatures:
+    def test_shape(self):
+        features = window_features(np.arange(100.0), 10)
+        assert features.shape == (10, 1)
+
+    def test_multichannel(self):
+        series = np.vstack([np.arange(100.0), np.ones(100)])
+        features = window_features(series, 5)
+        assert features.shape == (5, 2)
+
+    def test_means_correct(self):
+        features = window_features(np.repeat([1.0, 3.0], 50), 2)
+        assert features[0, 0] == pytest.approx(1.0)
+        assert features[1, 0] == pytest.approx(3.0)
+
+    def test_too_few_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            window_features(np.arange(100.0), 1)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            window_features(np.arange(5.0), 10)
+
+
+class TestSimilarityMatrix:
+    def test_zero_diagonal(self):
+        matrix = similarity_matrix(np.random.default_rng(0).normal(size=(6, 3)))
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_symmetric(self):
+        matrix = similarity_matrix(np.random.default_rng(1).normal(size=(6, 3)))
+        assert np.allclose(matrix, matrix.T)
+
+    def test_euclidean(self):
+        features = np.array([[0.0], [3.0], [7.0]])
+        matrix = similarity_matrix(features)
+        assert matrix[0, 1] == pytest.approx(3.0)
+        assert matrix[0, 2] == pytest.approx(7.0)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            similarity_matrix(np.arange(5.0))
+
+
+class TestComputeSvf:
+    def test_identical_series_gives_one(self, rng):
+        series = rng.normal(size=4096)
+        result = compute_svf(series, series, num_windows=32)
+        assert result.svf == pytest.approx(1.0)
+
+    def test_scaled_series_still_one(self, rng):
+        series = rng.normal(size=4096).cumsum()
+        result = compute_svf(series, 5.0 * series, num_windows=32)
+        assert result.svf == pytest.approx(1.0)
+
+    def test_independent_series_near_zero(self, rng):
+        oracle = rng.normal(size=8192).cumsum()
+        signal = rng.normal(size=8192).cumsum()
+        result = compute_svf(oracle, signal, num_windows=24)
+        assert abs(result.svf) < 0.6  # uncorrelated random walks
+
+    def test_noisy_observation_degrades_svf(self, rng):
+        oracle = np.repeat(rng.uniform(0, 1, 64), 64)
+        clean = compute_svf(oracle, oracle, num_windows=32).svf
+        noisy_signal = oracle + rng.normal(0, 5.0, size=oracle.shape)
+        noisy = compute_svf(oracle, noisy_signal, num_windows=32).svf
+        assert noisy < clean
+
+    def test_constant_signal_gives_zero(self, rng):
+        oracle = rng.normal(size=1024)
+        result = compute_svf(oracle, np.ones(1024), num_windows=16)
+        assert result.svf == 0.0
+
+    def test_result_carries_matrices(self, rng):
+        series = rng.normal(size=1024)
+        result = compute_svf(series, series, num_windows=16)
+        assert result.oracle_similarity.shape == (16, 16)
+        assert result.signal_similarity.shape == (16, 16)
+        assert result.num_windows == 16

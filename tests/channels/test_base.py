@@ -1,0 +1,98 @@
+"""Unit tests for the generic channel model."""
+
+import numpy as np
+import pytest
+
+from repro.channels.base import ChannelModel
+from repro.em.environment import NoiseEnvironment
+from repro.errors import ConfigurationError
+from repro.uarch.activity import ActivityTrace
+from repro.uarch.components import NUM_COMPONENTS
+
+
+def _channel(lowpass_hz=None, num_modes=1) -> ChannelModel:
+    weights = np.zeros((num_modes, NUM_COMPONENTS))
+    weights[:, 0] = 1.0
+    return ChannelModel(
+        name="test",
+        weights=weights,
+        environment=NoiseEnvironment(include_thermal=False),
+        lowpass_hz=lowpass_hz,
+    )
+
+
+class TestValidation:
+    def test_weight_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            ChannelModel("x", np.zeros((1, 3)), NoiseEnvironment())
+
+    def test_lowpass_positive(self):
+        with pytest.raises(ConfigurationError):
+            _channel(lowpass_hz=0.0)
+
+    def test_num_modes(self):
+        assert _channel(num_modes=3).num_modes == 3
+
+
+class TestAttenuation:
+    def test_flat_channel(self):
+        assert _channel().attenuation_at(1e9) == 1.0
+
+    def test_corner_is_3db(self):
+        channel = _channel(lowpass_hz=1000.0)
+        assert channel.attenuation_at(1000.0) == pytest.approx(1 / np.sqrt(2))
+
+    def test_rolloff_above_corner(self):
+        channel = _channel(lowpass_hz=1000.0)
+        assert channel.attenuation_at(10_000.0) == pytest.approx(0.0995, rel=0.01)
+
+    def test_passband_flat(self):
+        channel = _channel(lowpass_hz=1000.0)
+        assert channel.attenuation_at(10.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _channel(lowpass_hz=1000.0).attenuation_at(0.0)
+
+
+class TestProjection:
+    def _square_trace(self, cycles=100_000, clock_hz=1e8) -> ActivityTrace:
+        data = np.zeros((NUM_COMPONENTS, cycles))
+        data[0, : cycles // 2] = 1.0
+        return ActivityTrace(data, clock_hz=clock_hz)
+
+    def test_flat_channel_passes_through(self):
+        trace = self._square_trace(1000)
+        waveform = _channel().project_trace(trace)
+        assert np.allclose(waveform[0, :500], 1.0)
+        assert np.allclose(waveform[0, 500:], 0.0)
+
+    def test_lowpass_attenuates_fundamental(self):
+        from repro.em.coupling import fourier_coefficient
+
+        trace = self._square_trace()
+        f_alt = trace.clock_hz / trace.num_cycles  # 1 kHz
+        channel = _channel(lowpass_hz=f_alt)  # corner right at f_alt
+        flat = abs(fourier_coefficient(_channel().project_trace(trace))[0])
+        filtered = abs(fourier_coefficient(channel.project_trace(trace))[0])
+        assert filtered == pytest.approx(flat / np.sqrt(2), rel=0.02)
+
+    def test_periodic_steady_state_no_transient(self):
+        """The filtered period must equal the same period filtered after
+        many warm-up repetitions (i.e. the true periodic steady state)."""
+        from scipy.signal import lfilter
+
+        trace = self._square_trace(10_000, clock_hz=1e6)
+        channel = _channel(lowpass_hz=50.0)  # very slow filter
+        one_period = channel.project_trace(trace)
+
+        waveform = trace.project(channel.weights)
+        alpha = 2 * np.pi * 50.0 / 1e6
+        tiled = np.tile(waveform, (1, 60))
+        brute = lfilter([alpha], [1.0, alpha - 1.0], tiled, axis=1)[:, -10_000:]
+        assert np.allclose(one_period, brute, atol=1e-9)
+
+    def test_dc_preserved_by_filter(self):
+        trace = self._square_trace(1000)
+        filtered = _channel(lowpass_hz=1.0).project_trace(trace)
+        assert filtered.mean() == pytest.approx(0.5, rel=0.01)

@@ -1,0 +1,112 @@
+"""Tests for the power/acoustic channel instances and measurement."""
+
+import numpy as np
+import pytest
+
+from repro.channels import (
+    channel_comparison,
+    distinguishability_profile,
+    laptop_acoustic_channel,
+    measure_channel_savat,
+    wall_power_channel,
+)
+from repro.errors import MeasurementError
+from repro.uarch.components import COMPONENT_INDEX, Component
+
+
+class TestChannelInstances:
+    def test_power_is_single_mode(self):
+        assert wall_power_channel().num_modes == 1
+
+    def test_acoustic_separates_vrm_domains(self):
+        channel = laptop_acoustic_channel()
+        assert channel.num_modes == 2
+        bus = COMPONENT_INDEX[Component.MEM_BUS]
+        alu = COMPONENT_INDEX[Component.ALU]
+        assert channel.weights[1, bus] > 0 and channel.weights[0, bus] == 0
+        assert channel.weights[0, alu] > 0 and channel.weights[1, alu] == 0
+
+    def test_power_channel_needs_slow_alternation(self):
+        channel = wall_power_channel()
+        assert channel.recommended_frequency_hz < channel.lowpass_hz
+        # The paper's 80 kHz would be crushed by the PSU.
+        assert channel.attenuation_at(80e3) < 0.05
+
+    def test_offchip_burns_most_power(self):
+        channel = wall_power_channel()
+        weights = channel.weights[0]
+        assert weights[COMPONENT_INDEX[Component.MEM_BUS]] == weights.max()
+
+
+@pytest.mark.slow
+class TestChannelMeasurement:
+    def test_same_event_is_silent(self, core2duo_10cm):
+        result = measure_channel_savat(core2duo_10cm, wall_power_channel(), "ADD", "ADD")
+        signal = measure_channel_savat(core2duo_10cm, wall_power_channel(), "ADD", "LDM")
+        assert result.savat_zj < 1e-3 * signal.savat_zj
+
+    def test_power_channel_sees_memory_events(self, core2duo_10cm):
+        channel = wall_power_channel()
+        memory = measure_channel_savat(core2duo_10cm, channel, "ADD", "LDM")
+        arithmetic = measure_channel_savat(core2duo_10cm, channel, "ADD", "SUB")
+        assert memory.savat_zj > 100 * arithmetic.savat_zj
+
+    def test_power_frequency_independence(self, core2duo_10cm):
+        """SAVAT divides out the pair rate: within the channel passband
+        the value must not depend on the chosen alternation frequency."""
+        channel = wall_power_channel()
+        slow = measure_channel_savat(
+            core2duo_10cm, channel, "ADD", "LDM", alternation_frequency_hz=50.0
+        )
+        fast = measure_channel_savat(
+            core2duo_10cm, channel, "ADD", "LDM", alternation_frequency_hz=200.0
+        )
+        assert slow.savat_zj == pytest.approx(fast.savat_zj, rel=0.10)
+
+    def test_lowpass_punishes_fast_alternation(self, core2duo_10cm):
+        channel = wall_power_channel()
+        in_band = measure_channel_savat(
+            core2duo_10cm, channel, "ADD", "LDM", alternation_frequency_hz=200.0
+        )
+        above = measure_channel_savat(
+            core2duo_10cm, channel, "ADD", "LDM", alternation_frequency_hz=50e3
+        )
+        assert above.savat_zj < 0.01 * in_band.savat_zj
+
+    def test_acoustic_hears_offchip_separately(self, core2duo_10cm):
+        channel = laptop_acoustic_channel()
+        offchip = measure_channel_savat(core2duo_10cm, channel, "ADD", "LDM")
+        arith = measure_channel_savat(core2duo_10cm, channel, "ADD", "SUB")
+        assert offchip.savat_zj > 50 * arith.savat_zj
+
+    def test_invalid_frequency_rejected(self, core2duo_10cm):
+        with pytest.raises(MeasurementError):
+            measure_channel_savat(
+                core2duo_10cm, wall_power_channel(), "ADD", "LDM",
+                alternation_frequency_hz=-1.0,
+            )
+
+    def test_str(self, core2duo_10cm):
+        result = measure_channel_savat(core2duo_10cm, wall_power_channel(), "ADD", "LDM")
+        assert "SAVAT[power](ADD/LDM)" in str(result)
+
+
+@pytest.mark.slow
+class TestChannelComparison:
+    def test_table_structure(self, core2duo_10cm):
+        table = channel_comparison(
+            core2duo_10cm,
+            [wall_power_channel(), laptop_acoustic_channel()],
+            [("ADD", "LDM"), ("ADD", "DIV")],
+        )
+        assert set(table) == {"power", "acoustic"}
+        assert set(table["power"]) == {"ADD/LDM", "ADD/DIV"}
+
+    def test_profile_normalized(self, core2duo_10cm):
+        table = channel_comparison(
+            core2duo_10cm,
+            [wall_power_channel()],
+            [("ADD", "LDM"), ("ADD", "DIV")],
+        )
+        profile = distinguishability_profile(table)
+        assert max(profile["power"].values()) == pytest.approx(1.0)

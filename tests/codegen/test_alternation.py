@@ -1,0 +1,124 @@
+"""Unit tests for the Figure 4 alternation-kernel builder."""
+
+import pytest
+
+from repro.codegen.alternation import (
+    AlternationSpec,
+    build_alternation_program,
+    build_half_program,
+    build_probe_program,
+    plan_alternation,
+    pointer_update_instructions,
+)
+from repro.codegen.pointers import SweepPlan
+from repro.errors import ConfigurationError
+from repro.isa.events import get_event
+from repro.isa.instructions import Opcode
+from repro.uarch.cache import CacheGeometry
+
+L1 = CacheGeometry(size_bytes=32 * 1024, ways=8, line_bytes=64)
+L2 = CacheGeometry(size_bytes=4 * 1024 * 1024, ways=16, line_bytes=64)
+
+
+def _spec(name_a="ADD", name_b="LDM", count=8) -> AlternationSpec:
+    return plan_alternation(get_event(name_a), get_event(name_b), L1, L2, count)
+
+
+class TestPointerUpdate:
+    def test_six_instructions(self):
+        plan = SweepPlan(base=0, footprint=4096, offset=64)
+        assert len(pointer_update_instructions("esi", plan)) == 6
+
+    def test_uses_only_alu_and_agu(self):
+        plan = SweepPlan(base=0, footprint=4096, offset=64)
+        opcodes = {i.opcode for i in pointer_update_instructions("esi", plan)}
+        assert opcodes <= {Opcode.LEA, Opcode.AND, Opcode.MOV, Opcode.OR}
+
+    def test_no_memory_access(self):
+        plan = SweepPlan(base=0, footprint=4096, offset=64)
+        assert not any(i.is_memory for i in pointer_update_instructions("esi", plan))
+
+
+class TestHalfProgram:
+    def test_iteration_structure(self):
+        spec = _spec()
+        half = build_half_program(spec.event_a, 8, spec.sweep_a, "esi", "a")
+        # mov ecx + one loop body: 6 pointer update + test + dec + jnz
+        assert len(half) == 1 + 6 + 1 + 2
+
+    def test_noi_half_omits_test_slot(self):
+        spec = _spec("NOI", "ADD")
+        half = build_half_program(spec.event_a, 8, spec.sweep_a, "esi", "a")
+        assert len(half) == 1 + 6 + 2  # no test slot
+        assert half.count_role("test") == 0
+
+    def test_test_slot_tagged(self):
+        spec = _spec()
+        half = build_half_program(spec.event_a, 4, spec.sweep_a, "esi", "a")
+        assert half.count_role("test") == 1  # one slot; ecx repeats it
+
+    def test_surrounding_code_identical_across_events(self):
+        """The methodology's core requirement: only the test slot differs."""
+        for name in ("ADD", "MUL", "DIV", "LDL1"):
+            spec = _spec(name, "LDM")
+            half = build_half_program(spec.event_a, 4, spec.sweep_a, "esi", "a")
+            non_test = [str(i) for i in half if i.role != "test"]
+            baseline_spec = _spec("ADD", "LDM")
+            baseline_half = build_half_program(
+                baseline_spec.event_a, 4, baseline_spec.sweep_a, "esi", "a"
+            )
+            baseline_non_test = [str(i) for i in baseline_half if i.role != "test"]
+            assert non_test == baseline_non_test
+
+    def test_memory_halves_differ_only_in_constants(self):
+        """Memory events share the code shape; only mask immediates vary."""
+        spec = _spec("LDL1", "LDM")
+        half_small = build_half_program(spec.event_a, 2, spec.sweep_a, "esi", "a")
+        spec2 = _spec("LDM", "LDL1")
+        half_large = build_half_program(spec2.event_a, 2, spec2.sweep_a, "esi", "a")
+        assert [i.opcode for i in half_small] == [i.opcode for i in half_large]
+
+
+class TestAlternationProgram:
+    def test_ends_with_halt(self):
+        program = build_alternation_program(_spec())
+        assert program[len(program) - 1].opcode is Opcode.HALT
+
+    def test_contains_both_halves(self):
+        program = build_alternation_program(_spec(count=4))
+        assert program.label_index("a_loop") < program.label_index("b_loop")
+
+    def test_test_instruction_count(self):
+        program = build_alternation_program(_spec(count=4))
+        assert program.count_role("test") == 2  # one slot per half
+
+    def test_disjoint_sweep_regions(self):
+        spec = _spec("LDM", "STM")
+        end_a = spec.sweep_a.base + spec.sweep_a.footprint
+        assert end_a <= spec.sweep_b.base
+
+    def test_initial_registers(self):
+        spec = _spec()
+        registers = spec.initial_registers()
+        assert registers["esi"] == spec.sweep_a.base
+        assert registers["edi"] == spec.sweep_b.base
+        assert registers["eax"] != 0  # idiv-safe
+
+    def test_name(self):
+        assert _spec(count=8).name == "ADD/LDM x8"
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec(count=0)
+
+
+class TestProbeProgram:
+    def test_probe_halts(self):
+        spec = _spec()
+        probe = build_probe_program(spec.event_a, 16, spec.sweep_a)
+        assert probe[len(probe) - 1].opcode is Opcode.HALT
+
+    def test_probe_iterations(self):
+        spec = _spec()
+        probe = build_probe_program(spec.event_b, 16, spec.sweep_b)
+        assert probe.count_role("test") == 1

@@ -1,0 +1,75 @@
+"""Unit tests for alternation-frequency planning."""
+
+import pytest
+
+from repro.codegen.frequency import (
+    FrequencyPlan,
+    measure_cycles_per_iteration,
+    solve_inst_loop_count,
+)
+from repro.errors import MeasurementError
+from repro.isa.events import get_event
+from repro.machines.catalog import CORE2DUO
+
+
+@pytest.fixture(scope="module")
+def core():
+    return CORE2DUO.make_core()
+
+
+class TestCyclesPerIteration:
+    def test_div_slower_than_add(self, core):
+        cpi_add = measure_cycles_per_iteration(core, get_event("ADD"))
+        cpi_div = measure_cycles_per_iteration(core, get_event("DIV"))
+        assert cpi_div > cpi_add + 10
+
+    def test_memory_hierarchy_ordering(self, core):
+        cpi_l1 = measure_cycles_per_iteration(core, get_event("LDL1"))
+        cpi_l2 = measure_cycles_per_iteration(core, get_event("LDL2"))
+        cpi_mem = measure_cycles_per_iteration(core, get_event("LDM"))
+        assert cpi_l1 < cpi_l2 < cpi_mem
+
+    def test_noi_cheapest(self, core):
+        cpi_noi = measure_cycles_per_iteration(core, get_event("NOI"))
+        cpi_add = measure_cycles_per_iteration(core, get_event("ADD"))
+        assert cpi_noi <= cpi_add
+
+    def test_steady_state_is_deterministic(self, core):
+        first = measure_cycles_per_iteration(core, get_event("STL2"))
+        second = measure_cycles_per_iteration(core, get_event("STL2"))
+        assert first == pytest.approx(second)
+
+
+class TestSolver:
+    def test_hits_target_within_two_percent(self, core):
+        plan = solve_inst_loop_count(core, get_event("ADD"), get_event("SUB"), 80e3)
+        assert plan.predicted_frequency_hz == pytest.approx(80e3, rel=0.02)
+
+    def test_slow_pair_uses_smaller_count(self, core):
+        fast = solve_inst_loop_count(core, get_event("ADD"), get_event("SUB"), 80e3)
+        slow = solve_inst_loop_count(core, get_event("LDM"), get_event("STM"), 80e3)
+        assert slow.spec.inst_loop_count < fast.spec.inst_loop_count
+
+    def test_higher_frequency_means_fewer_iterations(self, core):
+        low = solve_inst_loop_count(core, get_event("ADD"), get_event("SUB"), 40e3)
+        high = solve_inst_loop_count(core, get_event("ADD"), get_event("SUB"), 160e3)
+        assert high.spec.inst_loop_count < low.spec.inst_loop_count
+
+    def test_pairs_per_second(self, core):
+        plan = solve_inst_loop_count(core, get_event("ADD"), get_event("SUB"), 80e3)
+        expected = plan.spec.inst_loop_count * plan.predicted_frequency_hz
+        assert plan.pairs_per_second == pytest.approx(expected)
+
+    def test_predicted_period(self, core):
+        plan = solve_inst_loop_count(core, get_event("ADD"), get_event("MUL"), 80e3)
+        assert plan.predicted_period_cycles == pytest.approx(
+            core.clock_hz / plan.predicted_frequency_hz, rel=1e-6
+        )
+
+    def test_impossible_frequency_rejected(self, core):
+        with pytest.raises(MeasurementError, match="cannot alternate"):
+            solve_inst_loop_count(core, get_event("LDM"), get_event("STM"), 50e6)
+
+    def test_nonpositive_frequency_rejected(self, core):
+        with pytest.raises(MeasurementError):
+            solve_inst_loop_count(core, get_event("ADD"), get_event("SUB"), 0.0)

@@ -1,0 +1,98 @@
+"""Tests for SAVAT-based instruction clustering (paper Sections III/VII)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (
+    find_groups,
+    group_representatives,
+    savat_distance_matrix,
+    similarity_graph,
+)
+from repro.core.matrix import SavatMatrix
+from repro.errors import ConfigurationError
+from repro.isa.events import EVENT_ORDER
+from repro.machines.reference_data import CORE2DUO_10CM
+
+
+@pytest.fixture(scope="module")
+def reference_matrix() -> SavatMatrix:
+    """The paper's Figure 9 wrapped as a measured matrix."""
+    return SavatMatrix(EVENT_ORDER, CORE2DUO_10CM.values_zj, "core2duo", 0.10)
+
+
+class TestDistanceMatrix:
+    def test_zero_diagonal(self, reference_matrix):
+        distances = savat_distance_matrix(reference_matrix)
+        assert np.all(np.diag(distances) == 0)
+
+    def test_symmetric(self, reference_matrix):
+        distances = savat_distance_matrix(reference_matrix)
+        assert np.allclose(distances, distances.T)
+
+    def test_nonnegative(self, reference_matrix):
+        assert np.all(savat_distance_matrix(reference_matrix) >= 0)
+
+
+class TestFindGroups:
+    def test_recovers_paper_four_groups(self, reference_matrix):
+        """Section V-A: off-chip {LDM,STM}, L2 {LDL2,STL2},
+        arithmetic/L1 {ADD,SUB,MUL,NOI,LDL1,STL1}, and {DIV}."""
+        groups = find_groups(reference_matrix, num_groups=4)
+        as_sets = set(groups)
+        assert frozenset({"LDM", "STM"}) in as_sets
+        assert frozenset({"LDL2", "STL2"}) in as_sets
+        assert frozenset({"DIV"}) in as_sets
+        assert frozenset({"ADD", "SUB", "MUL", "NOI", "LDL1", "STL1"}) in as_sets
+
+    def test_single_group(self, reference_matrix):
+        groups = find_groups(reference_matrix, num_groups=1)
+        assert len(groups) == 1
+        assert len(groups[0]) == 11
+
+    def test_invalid_count_rejected(self, reference_matrix):
+        with pytest.raises(ConfigurationError):
+            find_groups(reference_matrix, num_groups=0)
+        with pytest.raises(ConfigurationError):
+            find_groups(reference_matrix, num_groups=12)
+
+    def test_groups_partition_events(self, reference_matrix):
+        groups = find_groups(reference_matrix, num_groups=4)
+        merged = sorted(event for group in groups for event in group)
+        assert merged == sorted(EVENT_ORDER)
+
+
+class TestRepresentatives:
+    def test_one_per_group(self, reference_matrix):
+        groups = find_groups(reference_matrix, num_groups=4)
+        representatives = group_representatives(groups)
+        assert len(representatives) == 4
+        for representative, group in zip(representatives, groups):
+            assert representative in group
+
+    def test_scaling_benefit(self, reference_matrix):
+        """4 representatives need 16 measurements instead of 121."""
+        groups = find_groups(reference_matrix, num_groups=4)
+        count = len(group_representatives(groups))
+        assert count**2 < len(EVENT_ORDER) ** 2 / 5
+
+
+class TestSimilarityGraph:
+    def test_arithmetic_component_connected(self, reference_matrix):
+        import networkx as nx
+
+        graph = similarity_graph(reference_matrix)
+        components = list(nx.connected_components(graph))
+        arithmetic = next(c for c in components if "ADD" in c)
+        assert {"ADD", "SUB", "MUL", "NOI"} <= arithmetic
+
+    def test_offchip_not_connected_to_arithmetic(self, reference_matrix):
+        import networkx as nx
+
+        graph = similarity_graph(reference_matrix)
+        assert not nx.has_path(graph, "LDM", "ADD")
+
+    def test_edges_carry_savat(self, reference_matrix):
+        graph = similarity_graph(reference_matrix)
+        for _u, _v, data in graph.edges(data=True):
+            assert "savat_zj" in data

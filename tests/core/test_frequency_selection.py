@@ -1,0 +1,78 @@
+"""Tests for quiet-frequency selection."""
+
+import pytest
+
+from repro.core.frequency_selection import (
+    recommend_frequency,
+    survey_band_noise,
+)
+from repro.em.environment import NoiseEnvironment, RadioInterferer
+from repro.errors import MeasurementError
+
+
+def _environment_with_interferer(frequency_hz: float) -> NoiseEnvironment:
+    return NoiseEnvironment(
+        instrument_floor_w_per_hz=6e-18,
+        include_thermal=False,
+        interferers=(RadioInterferer(frequency_hz, 5e-14, 100.0),),
+    )
+
+
+class TestSurvey:
+    def test_flat_environment_uniform(self):
+        environment = NoiseEnvironment(
+            instrument_floor_w_per_hz=1e-18, include_thermal=False
+        )
+        surveyed = survey_band_noise(environment, [50e3, 80e3, 120e3])
+        values = set(surveyed.values())
+        assert len(values) == 1
+
+    def test_interferer_raises_its_band(self):
+        environment = _environment_with_interferer(80e3)
+        surveyed = survey_band_noise(environment, [60e3, 80e3, 100e3])
+        assert surveyed[80e3] > 2 * surveyed[60e3]
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(MeasurementError):
+            survey_band_noise(NoiseEnvironment(), [])
+
+    def test_candidates_must_exceed_band(self):
+        with pytest.raises(MeasurementError):
+            survey_band_noise(NoiseEnvironment(), [500.0], band_half_width_hz=1e3)
+
+
+class TestRecommendation:
+    def test_avoids_the_interferer(self):
+        environment = _environment_with_interferer(80e3)
+        recommendation = recommend_frequency(environment, 40e3, 120e3, 5e3)
+        assert abs(recommendation.frequency_hz - 80e3) > 1e3
+
+    def test_flat_environment_prefers_lowest(self):
+        environment = NoiseEnvironment(
+            instrument_floor_w_per_hz=1e-18, include_thermal=False
+        )
+        recommendation = recommend_frequency(environment, 40e3, 120e3, 10e3)
+        assert recommendation.frequency_hz == pytest.approx(40e3)
+
+    def test_survey_recorded(self):
+        recommendation = recommend_frequency(NoiseEnvironment(), 40e3, 60e3, 10e3)
+        assert len(recommendation.surveyed) == 3
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(MeasurementError):
+            recommend_frequency(NoiseEnvironment(), 100e3, 50e3)
+        with pytest.raises(MeasurementError):
+            recommend_frequency(NoiseEnvironment(), 40e3, 80e3, step_hz=0)
+
+    def test_str(self):
+        recommendation = recommend_frequency(NoiseEnvironment(), 40e3, 60e3, 10e3)
+        assert "recommend" in str(recommendation)
+
+    def test_quiet_lab_80khz_is_sound(self):
+        """The paper's 80 kHz choice lands away from the lab's one
+        interferer once the band is considered."""
+        from repro.em.environment import quiet_lab_environment
+
+        environment = quiet_lab_environment()
+        surveyed = survey_band_noise(environment, [80e3, 81.45e3])
+        assert surveyed[80e3] < surveyed[81.45e3]

@@ -1,0 +1,66 @@
+"""Property tests for SavatMatrix serialization and statistics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matrix import SavatMatrix
+
+_EVENT_SETS = st.sampled_from(
+    [("ADD", "MUL"), ("ADD", "MUL", "LDM"), ("LDM", "STM", "DIV", "NOI")]
+)
+
+
+@st.composite
+def _matrices(draw) -> SavatMatrix:
+    events = draw(_EVENT_SETS)
+    repetitions = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    samples = rng.uniform(0.1, 20.0, size=(len(events), len(events), repetitions))
+    return SavatMatrix(events, samples, machine="m", distance_m=0.1)
+
+
+@given(matrix=_matrices())
+@settings(max_examples=40, deadline=None)
+def test_json_roundtrip_is_lossless(matrix):
+    rebuilt = SavatMatrix.from_json(matrix.to_json())
+    assert rebuilt.events == matrix.events
+    assert rebuilt.machine == matrix.machine
+    assert rebuilt.distance_m == matrix.distance_m
+    assert np.allclose(rebuilt.samples_zj, matrix.samples_zj)
+
+
+@given(matrix=_matrices())
+@settings(max_examples=40, deadline=None)
+def test_symmetrized_is_symmetric_and_mean_preserving(matrix):
+    symmetric = matrix.symmetrized()
+    assert np.allclose(symmetric, symmetric.T)
+    assert np.isclose(symmetric.mean(), matrix.mean().mean())
+
+
+@given(matrix=_matrices())
+@settings(max_examples=40, deadline=None)
+def test_shape_agreement_with_self_is_perfect(matrix):
+    stats = matrix.shape_agreement(matrix.mean())
+    assert stats["pearson"] > 0.999
+    assert stats["mean_relative_error"] < 1e-9
+
+
+@given(matrix=_matrices())
+@settings(max_examples=40, deadline=None)
+def test_diagonal_minimality_bounds(matrix):
+    rows, columns = matrix.diagonal_minimality()
+    count = len(matrix.events)
+    assert 0 <= rows <= count
+    assert 0 <= columns <= count
+    # Infinite tolerance counts everything.
+    assert matrix.diagonal_minimality(tolerance_zj=1e9) == (count, count)
+
+
+@given(matrix=_matrices())
+@settings(max_examples=40, deadline=None)
+def test_csv_is_rectangular(matrix):
+    lines = matrix.to_csv().splitlines()
+    width = len(lines[0].split(","))
+    assert all(len(line.split(",")) == width for line in lines)
+    assert len(lines) == len(matrix.events) + 1

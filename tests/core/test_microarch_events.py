@@ -1,0 +1,94 @@
+"""Tests for the Section VII branch-prediction events (BRH/BRM)."""
+
+import pytest
+
+from repro.codegen.microarch import (
+    BRH,
+    BRM,
+    build_microarch_half,
+    get_microarch_event,
+    lfsr_update_instructions,
+)
+from repro.codegen.pointers import SweepPlan
+from repro.core.microarch_events import measure_microarch_savat
+from repro.errors import ConfigurationError, MeasurementError
+from repro.isa.instructions import Opcode
+
+
+class TestEventDefinitions:
+    def test_lfsr_update_is_pure_alu(self):
+        opcodes = {i.opcode for i in lfsr_update_instructions()}
+        assert opcodes <= {Opcode.MOV, Opcode.SHL, Opcode.SHR, Opcode.XOR}
+
+    def test_brh_and_brm_slots_share_shape(self):
+        slot_h = BRH.slot_builder("a")
+        slot_m = BRM.slot_builder("a")
+        assert [i.opcode for i in slot_h] == [i.opcode for i in slot_m]
+        # Only the tested bit differs.
+        assert slot_h[0].src.value != slot_m[0].src.value
+
+    def test_standard_events_wrap(self):
+        event = get_microarch_event("ADD")
+        slot = event.slot_builder("a")
+        assert len(slot) == 1
+        assert slot[0].opcode is Opcode.ADD
+
+    def test_memory_events_rejected(self):
+        with pytest.raises(ConfigurationError, match="memory event"):
+            get_microarch_event("LDM")
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_microarch_event("BTB")
+
+    def test_half_structure(self):
+        plan = SweepPlan(base=0x10000, footprint=4096, offset=64)
+        half = build_microarch_half(BRM, 8, plan, "esi", "a")
+        # mov ecx + 6 pointer update + 9 lfsr + 3 slot + dec + jnz
+        assert len(half) == 1 + 6 + 9 + 3 + 2
+
+    def test_halves_identical_outside_slot(self):
+        plan = SweepPlan(base=0x10000, footprint=4096, offset=64)
+        brh = [str(i) for i in build_microarch_half(BRH, 4, plan, "esi", "a") if i.role != "test"]
+        brm = [str(i) for i in build_microarch_half(BRM, 4, plan, "esi", "a") if i.role != "test"]
+        assert brh == brm
+
+    def test_zero_count_rejected(self):
+        plan = SweepPlan(base=0x10000, footprint=4096, offset=64)
+        with pytest.raises(ConfigurationError):
+            build_microarch_half(BRH, 0, plan, "esi", "a")
+
+
+@pytest.mark.slow
+class TestBranchEventSavat:
+    def test_same_event_is_silent(self, core2duo_10cm):
+        for name in ("BRH", "BRM"):
+            result = measure_microarch_savat(core2duo_10cm, name, name)
+            assert result.savat_zj < 0.05
+
+    def test_brm_mispredicts_brh_does_not(self, core2duo_10cm):
+        hit = measure_microarch_savat(core2duo_10cm, "BRH", "BRH")
+        miss = measure_microarch_savat(core2duo_10cm, "BRM", "BRM")
+        assert hit.misprediction_rate < 0.02
+        assert 0.15 < miss.misprediction_rate < 0.35  # ~50% of slot branches
+
+    def test_branch_hit_vs_miss_is_distinguishable(self, core2duo_10cm):
+        """Section VII's hypothesis: branch mispredictions have
+        measurable SAVAT."""
+        pair = measure_microarch_savat(core2duo_10cm, "BRH", "BRM")
+        floor = measure_microarch_savat(core2duo_10cm, "BRH", "BRH")
+        assert pair.savat_zj > 10 * max(floor.savat_zj, 0.01)
+
+    def test_frequency_achieved(self, core2duo_10cm):
+        result = measure_microarch_savat(core2duo_10cm, "BRH", "BRM")
+        assert result.achieved_frequency_hz == pytest.approx(80e3, rel=0.06)
+
+    def test_invalid_frequency_rejected(self, core2duo_10cm):
+        with pytest.raises(MeasurementError):
+            measure_microarch_savat(
+                core2duo_10cm, "BRH", "BRM", alternation_frequency_hz=0
+            )
+
+    def test_str(self, core2duo_10cm):
+        result = measure_microarch_savat(core2duo_10cm, "ADD", "BRM")
+        assert "SAVAT(ADD/BRM)" in str(result)

@@ -1,0 +1,82 @@
+"""Tests for the naive-methodology comparison (Figure 2 / Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import (
+    build_single_event_fragment,
+    compare_methodologies,
+    naive_measurement,
+    noiseless_subtraction_energy,
+)
+from repro.instruments.oscilloscope import Oscilloscope
+from repro.isa.events import get_event
+from repro.isa.instructions import Opcode
+from repro.codegen.pointers import SweepPlan
+
+
+class TestFragmentConstruction:
+    def test_fragment_has_single_test_instruction(self):
+        plan = SweepPlan(base=0x10000, footprint=4096, offset=64)
+        fragment = build_single_event_fragment(get_event("ADD"), plan, 8)
+        test_slots = [i for i in fragment if i.role == "test"]
+        assert len(test_slots) == 1
+
+    def test_noi_fragment_has_no_test_instruction(self):
+        plan = SweepPlan(base=0x10000, footprint=4096, offset=64)
+        fragment = build_single_event_fragment(get_event("NOI"), plan, 8)
+        assert fragment.count_role("test") == 0
+
+    def test_fragments_share_filler(self):
+        plan = SweepPlan(base=0x10000, footprint=4096, offset=64)
+        add = build_single_event_fragment(get_event("ADD"), plan, 8)
+        mul = build_single_event_fragment(get_event("MUL"), plan, 8)
+        assert [str(i) for i in add if i.role != "test"] == [
+            str(i) for i in mul if i.role != "test"
+        ]
+
+    def test_ends_with_halt(self):
+        plan = SweepPlan(base=0x10000, footprint=4096, offset=64)
+        fragment = build_single_event_fragment(get_event("DIV"), plan, 4)
+        assert fragment[len(fragment) - 1].opcode is Opcode.HALT
+
+
+@pytest.mark.slow
+class TestMethodologyComparison:
+    def test_subtraction_positive_for_different_events(self, core2duo_10cm):
+        assert noiseless_subtraction_energy(core2duo_10cm, "ADD", "DIV") > 0
+
+    def test_subtraction_zero_for_same_event(self, core2duo_10cm):
+        assert noiseless_subtraction_energy(core2duo_10cm, "ADD", "ADD") == pytest.approx(
+            0.0
+        )
+
+    def test_misalignment_dominates_even_without_noise(self, core2duo_10cm):
+        """The paper's claim 2: when A's latency differs from B's, the
+        subtraction compares unrelated activity — a perfect instrument
+        still overestimates by orders of magnitude."""
+        comparison = compare_methodologies(
+            core2duo_10cm, "ADD", "DIV", trials=2, seed=3
+        )
+        assert comparison.misalignment_overestimate > 50
+
+    def test_alternation_beats_naive(self, core2duo_10cm):
+        comparison = compare_methodologies(
+            core2duo_10cm, "ADD", "DIV", trials=4, seed=3
+        )
+        assert comparison.naive_relative_error > 5 * comparison.alternation_relative_error
+        assert comparison.error_ratio > 5
+        assert comparison.alternation_relative_error < 0.25
+
+    def test_naive_measurement_noise_varies_per_trial(self, core2duo_10cm, rng):
+        scope = Oscilloscope(sample_rate_hz=40e9, trigger_jitter_s=0.2e-9)
+        first = naive_measurement(core2duo_10cm, "ADD", "MUL", scope, rng)
+        second = naive_measurement(core2duo_10cm, "ADD", "MUL", scope, rng)
+        assert first != second
+
+    def test_estimates_recorded_per_trial(self, core2duo_10cm):
+        comparison = compare_methodologies(
+            core2duo_10cm, "ADD", "DIV", trials=3, seed=1
+        )
+        assert len(comparison.naive_estimates_zj) == 3
+        assert len(comparison.alternation_estimates_zj) == 3

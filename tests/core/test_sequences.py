@@ -1,0 +1,79 @@
+"""Tests for sequence-level SAVAT (measurement + additive estimate)."""
+
+import pytest
+
+from repro.core.matrix import SavatMatrix
+from repro.core.sequences import estimate_sequence_savat, measure_sequence_savat
+from repro.errors import ConfigurationError
+from repro.isa.events import EVENT_ORDER
+from repro.machines.reference_data import CORE2DUO_10CM
+
+
+@pytest.fixture(scope="module")
+def reference_matrix() -> SavatMatrix:
+    return SavatMatrix(EVENT_ORDER, CORE2DUO_10CM.values_zj, "core2duo", 0.10)
+
+
+class TestAdditiveEstimate:
+    def test_identical_sequences_cost_only_floor(self, reference_matrix):
+        floor = estimate_sequence_savat(reference_matrix, ["ADD", "MUL"], ["ADD", "MUL"])
+        assert floor == pytest.approx(
+            float(reference_matrix.symmetrized().diagonal().mean())
+        )
+
+    def test_single_difference_matches_pairwise(self, reference_matrix):
+        estimate = estimate_sequence_savat(reference_matrix, ["ADD"], ["LDM"])
+        floor = float(reference_matrix.symmetrized().diagonal().mean())
+        assert estimate == pytest.approx(
+            max(reference_matrix.cell("ADD", "LDM") - floor, 0) + floor
+        )
+
+    def test_differences_accumulate(self, reference_matrix):
+        one = estimate_sequence_savat(reference_matrix, ["ADD"], ["LDM"])
+        two = estimate_sequence_savat(
+            reference_matrix, ["ADD", "ADD"], ["LDM", "LDM"]
+        )
+        assert two > one
+
+    def test_length_mismatch_pads_with_noi(self, reference_matrix):
+        padded = estimate_sequence_savat(reference_matrix, ["ADD", "DIV"], ["ADD"])
+        explicit = estimate_sequence_savat(
+            reference_matrix, ["ADD", "DIV"], ["ADD", "NOI"]
+        )
+        assert padded == pytest.approx(explicit)
+
+    def test_rsa_style_sequences(self, reference_matrix):
+        """A 1-bit adds a multiply block with table loads: the estimate
+        should be far above the floor (MUL alone vs NOI is already at
+        the floor in Figure 9 — memory traffic is what leaks)."""
+        bit0 = ["MUL", "DIV"]
+        bit1 = ["MUL", "DIV", "LDM", "DIV"]
+        estimate = estimate_sequence_savat(reference_matrix, bit1, bit0)
+        assert estimate > 2.0  # zJ
+
+
+@pytest.mark.slow
+class TestMeasuredSequences:
+    def test_empty_sequence_rejected(self, core2duo_10cm):
+        with pytest.raises(ConfigurationError):
+            measure_sequence_savat(core2duo_10cm, [], ["ADD"])
+
+    def test_identical_sequences_near_silent(self, core2duo_10cm):
+        result = measure_sequence_savat(
+            core2duo_10cm, ["ADD", "MUL"], ["ADD", "MUL"]
+        )
+        baseline = measure_sequence_savat(core2duo_10cm, ["ADD"], ["DIV"])
+        assert result.measured_zj < 0.25 * baseline.measured_zj
+
+    def test_sequence_savat_exceeds_single_instruction(self, core2duo_10cm):
+        single = measure_sequence_savat(core2duo_10cm, ["ADD"], ["DIV"])
+        double = measure_sequence_savat(
+            core2duo_10cm, ["ADD", "ADD"], ["DIV", "DIV"]
+        )
+        assert double.measured_zj > single.measured_zj
+
+    def test_result_metadata(self, core2duo_10cm):
+        result = measure_sequence_savat(core2duo_10cm, ["ADD"], ["MUL", "DIV"])
+        assert result.sequence_a == ("ADD",)
+        assert result.sequence_b == ("MUL", "DIV")
+        assert result.pairs_per_second > 0

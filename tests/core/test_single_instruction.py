@@ -1,0 +1,68 @@
+"""Tests for single-instruction SAVAT (Section II)."""
+
+import pytest
+
+from repro.core.matrix import SavatMatrix
+from repro.core.single_instruction import (
+    INSTRUCTION_EVENT_GROUPS,
+    most_leaky_instructions,
+    single_instruction_savat,
+)
+from repro.errors import ConfigurationError
+from repro.isa.events import EVENT_ORDER
+from repro.machines.reference_data import CORE2DUO_10CM
+
+
+@pytest.fixture(scope="module")
+def reference_matrix() -> SavatMatrix:
+    return SavatMatrix(EVENT_ORDER, CORE2DUO_10CM.values_zj, "core2duo", 0.10)
+
+
+class TestSingleInstructionSavat:
+    def test_load_is_max_over_load_events(self, reference_matrix):
+        values = single_instruction_savat(reference_matrix)
+        expected = max(
+            CORE2DUO_10CM.cell(a, b)
+            for a in ("LDM", "LDL2", "LDL1")
+            for b in ("LDM", "LDL2", "LDL1")
+        )
+        assert values["load (mov eax,[esi])"] == pytest.approx(expected)
+
+    def test_store_exceeds_load_on_core2duo(self, reference_matrix):
+        """STL2/STM (10.6-11.8) tops LDM/LDL2 (7.7-7.9) in Figure 9."""
+        values = single_instruction_savat(reference_matrix)
+        assert values["store (mov [esi],imm)"] > values["load (mov eax,[esi])"]
+
+    def test_singleton_group_uses_diagonal(self, reference_matrix):
+        values = single_instruction_savat(reference_matrix)
+        assert values["add"] == pytest.approx(CORE2DUO_10CM.cell("ADD", "ADD"))
+
+    def test_custom_groups(self, reference_matrix):
+        values = single_instruction_savat(
+            reference_matrix, {"mem": ("LDM", "STM")}
+        )
+        assert set(values) == {"mem"}
+
+    def test_empty_group_rejected(self, reference_matrix):
+        with pytest.raises(ConfigurationError):
+            single_instruction_savat(reference_matrix, {"x": ()})
+
+    def test_figure5_groups_cover_all_events(self):
+        covered = {
+            event for events in INSTRUCTION_EVENT_GROUPS.values() for event in events
+        }
+        assert covered == set(EVENT_ORDER)
+
+
+class TestRanking:
+    def test_sorted_descending(self, reference_matrix):
+        ranking = most_leaky_instructions(reference_matrix)
+        values = [value for _label, value in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_memory_instructions_lead(self, reference_matrix):
+        """Data-dependent cache behaviour is the paper's top programmer
+        warning — loads/stores must outrank plain arithmetic."""
+        ranking = most_leaky_instructions(reference_matrix)
+        top_two = {label for label, _value in ranking[:2]}
+        assert top_two == {"load (mov eax,[esi])", "store (mov [esi],imm)"}

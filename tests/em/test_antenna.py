@@ -1,0 +1,41 @@
+"""Unit tests for the loop-antenna model."""
+
+import pytest
+
+from repro.em.antenna import LoopAntenna
+from repro.errors import ConfigurationError
+
+
+class TestLoopAntenna:
+    def test_default_is_paper_antenna(self):
+        assert LoopAntenna().name == "AOR LA400"
+
+    def test_in_band(self):
+        antenna = LoopAntenna(low_cutoff_hz=10e3, high_cutoff_hz=1e6)
+        assert antenna.in_band(80e3)
+        assert not antenna.in_band(1e3)
+        assert not antenna.in_band(1e9)
+
+    def test_flat_response_in_band(self):
+        antenna = LoopAntenna(gain=2.0)
+        assert antenna.response(80e3) == 2.0
+
+    def test_rolloff_below_band(self):
+        antenna = LoopAntenna(gain=1.0, low_cutoff_hz=10e3)
+        assert antenna.response(1e3) == pytest.approx(0.1)
+
+    def test_rolloff_above_band(self):
+        antenna = LoopAntenna(gain=1.0, high_cutoff_hz=500e6)
+        assert antenna.response(5e9) == pytest.approx(0.1)
+
+    def test_invalid_gain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoopAntenna(gain=0.0)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoopAntenna(low_cutoff_hz=1e6, high_cutoff_hz=1e3)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoopAntenna().response(0.0)

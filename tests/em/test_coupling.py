@@ -1,0 +1,125 @@
+"""Unit and property tests for the coupling/field-mode model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.em.coupling import (
+    CouplingMatrix,
+    band_power_from_modes,
+    fourier_coefficient,
+)
+from repro.errors import ConfigurationError
+from repro.uarch.activity import ActivityTrace
+from repro.uarch.components import NUM_COMPONENTS
+
+
+class TestCouplingMatrix:
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            CouplingMatrix(np.zeros((2, 3)), distance_m=0.1)
+
+    def test_distance_validation(self):
+        with pytest.raises(ConfigurationError):
+            CouplingMatrix(np.zeros((2, NUM_COMPONENTS)), distance_m=0.0)
+
+    def test_num_modes(self):
+        coupling = CouplingMatrix(np.zeros((3, NUM_COMPONENTS)), distance_m=0.1)
+        assert coupling.num_modes == 3
+
+    def test_project_rates(self):
+        weights = np.zeros((2, NUM_COMPONENTS))
+        weights[0, 0] = 2.0
+        weights[1, 1] = 3.0
+        coupling = CouplingMatrix(weights, distance_m=0.1)
+        rates = np.zeros(NUM_COMPONENTS)
+        rates[0] = 1.0
+        rates[1] = 1.0
+        assert list(coupling.project_rates(rates)) == [2.0, 3.0]
+
+    def test_project_rates_shape_checked(self):
+        coupling = CouplingMatrix(np.zeros((2, NUM_COMPONENTS)), distance_m=0.1)
+        with pytest.raises(ConfigurationError):
+            coupling.project_rates(np.zeros(3))
+
+    def test_project_trace(self):
+        coupling = CouplingMatrix(np.ones((2, NUM_COMPONENTS)), distance_m=0.1)
+        trace = ActivityTrace(np.ones((NUM_COMPONENTS, 5)), clock_hz=1e9)
+        projected = coupling.project_trace(trace)
+        assert projected.shape == (2, 5)
+        assert np.allclose(projected, NUM_COMPONENTS)
+
+    def test_scaled(self):
+        coupling = CouplingMatrix(np.ones((1, NUM_COMPONENTS)), distance_m=0.1)
+        scaled = coupling.scaled(0.5)
+        assert np.allclose(scaled.weights, 0.5)
+
+
+class TestFourierCoefficient:
+    def test_pure_cosine_amplitude(self):
+        length = 256
+        t = np.arange(length)
+        waveform = 4.0 * np.cos(2 * np.pi * t / length)
+        assert abs(fourier_coefficient(waveform)) == pytest.approx(2.0, rel=1e-9)
+
+    def test_constant_has_no_fundamental(self):
+        assert abs(fourier_coefficient(np.full(64, 7.0))) == pytest.approx(0.0, abs=1e-12)
+
+    def test_square_wave_fundamental(self):
+        length = 1000
+        waveform = np.where(np.arange(length) < length // 2, 1.0, 0.0)
+        # 50% duty square wave: |c1| = 1/pi.
+        assert abs(fourier_coefficient(waveform)) == pytest.approx(1 / np.pi, rel=1e-3)
+
+    def test_duty_cycle_formula(self):
+        length = 1000
+        duty = 0.2
+        waveform = np.where(np.arange(length) < duty * length, 1.0, 0.0)
+        expected = np.sin(np.pi * duty) / np.pi
+        assert abs(fourier_coefficient(waveform)) == pytest.approx(expected, rel=1e-3)
+
+    def test_harmonics(self):
+        length = 512
+        t = np.arange(length)
+        waveform = np.cos(2 * np.pi * 3 * t / length)
+        assert abs(fourier_coefficient(waveform, harmonic=3)) == pytest.approx(0.5, rel=1e-9)
+        assert abs(fourier_coefficient(waveform, harmonic=1)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_multimode_input(self):
+        waveform = np.vstack([np.cos(2 * np.pi * np.arange(64) / 64)] * 3)
+        coefficients = fourier_coefficient(waveform)
+        assert coefficients.shape == (3,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fourier_coefficient(np.array([]))
+
+
+class TestBandPower:
+    def test_single_mode(self):
+        # A cosine of amplitude A has c1 = A/2; power = A^2/2R = 2|c1|^2/R.
+        amplitude = 3.0
+        power = band_power_from_modes(np.array([amplitude / 2]), impedance=50.0)
+        assert power == pytest.approx(amplitude**2 / (2 * 50.0))
+
+    def test_modes_add_incoherently(self):
+        one = band_power_from_modes(np.array([1.0]))
+        two = band_power_from_modes(np.array([1.0, 1.0]))
+        assert two == pytest.approx(2 * one)
+
+    def test_scalar_input(self):
+        assert band_power_from_modes(1.0 + 0j) > 0
+
+
+@given(
+    scale=st.floats(min_value=0.1, max_value=10.0),
+    length=st.integers(min_value=8, max_value=512),
+)
+@settings(max_examples=40, deadline=None)
+def test_fourier_coefficient_is_linear(scale, length):
+    """Property: c1(a*x) = a*c1(x)."""
+    rng = np.random.default_rng(length)
+    waveform = rng.normal(size=length)
+    base = fourier_coefficient(waveform)
+    scaled = fourier_coefficient(scale * waveform)
+    assert scaled == pytest.approx(scale * base, rel=1e-9, abs=1e-12)

@@ -1,0 +1,113 @@
+"""Unit tests for the noise-environment model."""
+
+import numpy as np
+import pytest
+
+from repro.em.environment import (
+    DEFAULT_INSTRUMENT_FLOOR_W_PER_HZ,
+    NoiseEnvironment,
+    RadioInterferer,
+    quiet_lab_environment,
+)
+from repro.errors import ConfigurationError
+from repro.units import thermal_noise_psd
+
+
+class TestRadioInterferer:
+    def test_power_fully_in_band(self):
+        interferer = RadioInterferer(frequency_hz=80e3, power_w=1e-15, bandwidth_hz=10)
+        assert interferer.power_in_band(79e3, 81e3) == pytest.approx(1e-15)
+
+    def test_power_outside_band(self):
+        interferer = RadioInterferer(frequency_hz=90e3, power_w=1e-15, bandwidth_hz=10)
+        assert interferer.power_in_band(79e3, 81e3) == 0.0
+
+    def test_partial_overlap(self):
+        interferer = RadioInterferer(frequency_hz=81e3, power_w=1e-15, bandwidth_hz=20)
+        # Band ends at 81 kHz: half the interferer bandwidth overlaps.
+        assert interferer.power_in_band(79e3, 81e3) == pytest.approx(0.5e-15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RadioInterferer(frequency_hz=0, power_w=1e-15)
+        with pytest.raises(ConfigurationError):
+            RadioInterferer(frequency_hz=80e3, power_w=-1)
+
+
+class TestNoiseEnvironment:
+    def test_total_floor_includes_thermal(self):
+        environment = NoiseEnvironment(instrument_floor_w_per_hz=1e-18)
+        assert environment.total_floor_w_per_hz == pytest.approx(
+            1e-18 + thermal_noise_psd()
+        )
+
+    def test_thermal_can_be_disabled(self):
+        environment = NoiseEnvironment(
+            instrument_floor_w_per_hz=1e-18, include_thermal=False
+        )
+        assert environment.total_floor_w_per_hz == pytest.approx(1e-18)
+
+    def test_expected_band_power(self):
+        environment = NoiseEnvironment(
+            instrument_floor_w_per_hz=1e-18, include_thermal=False
+        )
+        assert environment.band_noise_power(80e3, 1e3) == pytest.approx(2e-15)
+
+    def test_band_power_with_rng_fluctuates_around_mean(self, rng):
+        environment = NoiseEnvironment(
+            instrument_floor_w_per_hz=1e-18, include_thermal=False
+        )
+        draws = [environment.band_noise_power(80e3, 1e3, rng) for _ in range(200)]
+        assert np.mean(draws) == pytest.approx(2e-15, rel=0.05)
+        assert np.std(draws) > 0
+
+    def test_interferer_added_to_band(self):
+        environment = NoiseEnvironment(
+            instrument_floor_w_per_hz=0.0,
+            include_thermal=False,
+            interferers=(RadioInterferer(80e3, 1e-15, 10.0),),
+        )
+        assert environment.band_noise_power(80e3, 1e3) == pytest.approx(1e-15)
+
+    def test_time_domain_noise_variance(self, rng):
+        environment = NoiseEnvironment(
+            instrument_floor_w_per_hz=1e-18, include_thermal=False
+        )
+        fs = 1e6
+        samples = environment.time_domain_noise(200_000, fs, rng)
+        expected_variance = 1e-18 * 50.0 * fs / 2
+        assert samples.var() == pytest.approx(expected_variance, rel=0.05)
+
+    def test_time_domain_interferer_tone_power(self, rng):
+        environment = NoiseEnvironment(
+            instrument_floor_w_per_hz=0.0,
+            include_thermal=False,
+            interferers=(RadioInterferer(50e3, 1e-15, 1.0),),
+        )
+        samples = environment.time_domain_noise(100_000, 1e6, rng)
+        measured_power = samples.var() / 50.0  # V^2 / R
+        assert measured_power == pytest.approx(1e-15, rel=0.05)
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseEnvironment(instrument_floor_w_per_hz=-1.0)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseEnvironment().band_noise_power(80e3, 0.0)
+
+
+class TestQuietLab:
+    def test_matches_figure8_floor(self):
+        environment = quiet_lab_environment()
+        assert environment.instrument_floor_w_per_hz == pytest.approx(
+            DEFAULT_INSTRUMENT_FLOOR_W_PER_HZ
+        )
+
+    def test_has_external_radio_signal(self):
+        assert len(quiet_lab_environment().interferers) == 1
+
+    def test_interferer_outside_measurement_band(self):
+        environment = quiet_lab_environment()
+        interferer = environment.interferers[0]
+        assert not (79e3 <= interferer.frequency_hz <= 81e3)

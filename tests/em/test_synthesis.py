@@ -1,0 +1,131 @@
+"""Unit tests for the time-domain signal synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.em.coupling import CouplingMatrix, band_power_from_modes, fourier_coefficient
+from repro.em.synthesis import (
+    JitterModel,
+    period_envelope,
+    synthesize_measurement,
+)
+from repro.errors import ConfigurationError, MeasurementError
+from repro.instruments.signal_processing import band_power, periodogram_psd
+from repro.uarch.activity import ActivityTrace
+from repro.uarch.components import NUM_COMPONENTS
+
+
+def _square_trace(cycles=1000, clock_hz=80e6) -> ActivityTrace:
+    """One alternation-like period: component 0 active in the first half."""
+    data = np.zeros((NUM_COMPONENTS, cycles))
+    data[0, : cycles // 2] = 1.0
+    return ActivityTrace(data, clock_hz=clock_hz)
+
+
+def _unit_coupling(num_modes=1) -> CouplingMatrix:
+    weights = np.zeros((num_modes, NUM_COMPONENTS))
+    weights[:, 0] = 1.0
+    return CouplingMatrix(weights, distance_m=0.1)
+
+
+class TestJitterModel:
+    def test_no_jitter_is_exactly_one(self, rng):
+        model = JitterModel(period_sigma=0.0, drift_sigma=0.0)
+        assert np.allclose(model.period_multipliers(10, rng), 1.0)
+
+    def test_multipliers_bounded(self, rng):
+        model = JitterModel(period_sigma=0.5, drift_sigma=0.1)
+        multipliers = model.period_multipliers(1000, rng)
+        assert np.all(multipliers >= 0.5)
+        assert np.all(multipliers <= 1.5)
+
+    def test_drift_produces_correlated_walk(self, rng):
+        model = JitterModel(period_sigma=0.0, drift_sigma=1e-3)
+        multipliers = model.period_multipliers(5000, rng)
+        # A random walk's late values correlate with adjacent ones.
+        correlation = np.corrcoef(multipliers[:-1], multipliers[1:])[0, 1]
+        assert correlation > 0.9
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JitterModel(period_sigma=-0.1)
+
+    def test_zero_periods_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            JitterModel().period_multipliers(0, rng)
+
+
+class TestPeriodEnvelope:
+    def test_shape(self):
+        envelope = period_envelope(_square_trace(), _unit_coupling(2), 64)
+        assert envelope.shape[0] == 2
+        assert envelope.shape[1] <= 64
+
+    def test_preserves_mean(self):
+        trace = _square_trace()
+        envelope = period_envelope(trace, _unit_coupling(), 50)
+        assert envelope.mean() == pytest.approx(0.5, rel=1e-6)
+
+    def test_minimum_samples_enforced(self):
+        with pytest.raises(ConfigurationError):
+            period_envelope(_square_trace(), _unit_coupling(), 2)
+
+
+class TestSynthesizeMeasurement:
+    def test_output_shape_and_rate(self, rng):
+        trace = _square_trace()
+        signal = synthesize_measurement(
+            trace, _unit_coupling(), duration_s=0.01, rng=rng
+        )
+        expected_samples = int(round(0.01 * signal.sample_rate_hz))
+        assert signal.samples.shape == (1, expected_samples)
+        assert signal.nominal_frequency_hz == pytest.approx(1.0 / trace.duration_s)
+
+    def test_band_power_matches_analytic_without_jitter(self, rng):
+        """The synthesized signal's fundamental band power must equal the
+        analytic Fourier prediction from the one-period trace."""
+        trace = _square_trace()
+        coupling = _unit_coupling()
+        signal = synthesize_measurement(
+            trace,
+            coupling,
+            duration_s=0.05,
+            rng=rng,
+            jitter=JitterModel(period_sigma=0.0, drift_sigma=0.0),
+        )
+        freqs, psd = periodogram_psd(signal.samples, signal.sample_rate_hz)
+        f_alt = signal.nominal_frequency_hz
+        measured = band_power(freqs, psd, f_alt, 0.02 * f_alt) / 50.0
+        coefficient = fourier_coefficient(coupling.project_trace(trace))
+        analytic = band_power_from_modes(coefficient, impedance=50.0)
+        assert measured == pytest.approx(analytic, rel=0.05)
+
+    def test_jitter_disperses_but_conserves_band_power(self, rng):
+        trace = _square_trace()
+        coupling = _unit_coupling()
+        signal = synthesize_measurement(
+            trace,
+            coupling,
+            duration_s=0.05,
+            rng=rng,
+            jitter=JitterModel(period_sigma=2e-3, drift_sigma=1e-4),
+        )
+        freqs, psd = periodogram_psd(signal.samples, signal.sample_rate_hz)
+        f_alt = signal.nominal_frequency_hz
+        narrow = band_power(freqs, psd, f_alt, 0.001 * f_alt)
+        wide = band_power(freqs, psd, f_alt, 0.05 * f_alt)
+        coefficient = fourier_coefficient(coupling.project_trace(trace))
+        analytic = band_power_from_modes(coefficient, impedance=50.0)
+        # Dispersion: narrow band misses some power, wide band recovers it.
+        assert narrow < wide
+        assert wide / 50.0 == pytest.approx(analytic, rel=0.10)
+
+    def test_nonpositive_duration_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            synthesize_measurement(_square_trace(), _unit_coupling(), 0.0, rng)
+
+    def test_multimode(self, rng):
+        signal = synthesize_measurement(
+            _square_trace(), _unit_coupling(3), duration_s=0.005, rng=rng
+        )
+        assert signal.num_modes == 3

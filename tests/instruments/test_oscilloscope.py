@@ -1,0 +1,61 @@
+"""Unit tests for the oscilloscope model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.instruments.oscilloscope import Oscilloscope
+
+
+class TestOscilloscope:
+    def test_resamples_at_scope_rate(self, rng):
+        scope = Oscilloscope(sample_rate_hz=1e9, vertical_noise_fraction=0.0)
+        waveform = np.linspace(0, 1, 1000)  # 1000 samples at 10 GHz
+        capture = scope.capture(waveform, 10e9, rng)
+        assert len(capture.samples) == 100
+
+    def test_linear_interpolation(self, rng):
+        scope = Oscilloscope(sample_rate_hz=2e9, vertical_noise_fraction=0.0)
+        waveform = np.linspace(0.0, 1.0, 101)  # ramp over 100 ns at 1 GHz
+        capture = scope.capture(waveform, 1e9, rng)
+        # A ramp resampled without noise stays a ramp (np.interp clamps
+        # past the source's end, so ignore the trailing samples).
+        diffs = np.diff(capture.samples[:-2])
+        assert np.allclose(diffs, diffs[0], atol=1e-9)
+
+    def test_vertical_noise_scales_with_range(self, rng):
+        scope = Oscilloscope(sample_rate_hz=1e9, vertical_noise_fraction=0.005)
+        waveform = np.zeros(100_000)
+        waveform[::2] = 10.0  # range of 10
+        capture = scope.capture(waveform, 1e9, rng)
+        ideal = scope.capture(
+            waveform, 1e9, np.random.default_rng(0)
+        )  # different noise
+        residual = capture.samples - np.where(np.arange(len(capture.samples)) % 2 == 0, 10.0, 0.0)
+        assert residual.std() == pytest.approx(0.05, rel=0.1)
+
+    def test_no_noise_on_flat_signal(self, rng):
+        scope = Oscilloscope(sample_rate_hz=1e9, vertical_noise_fraction=0.005)
+        capture = scope.capture(np.zeros(1000), 1e9, rng)
+        assert np.all(capture.samples == 0)
+
+    def test_trigger_jitter_recorded(self, rng):
+        scope = Oscilloscope(
+            sample_rate_hz=1e9, vertical_noise_fraction=0.0, trigger_jitter_s=1e-9
+        )
+        offsets = {scope.capture(np.ones(100), 1e9, rng).trigger_offset_s for _ in range(5)}
+        assert len(offsets) == 5  # all different
+
+    def test_times_include_offset(self, rng):
+        scope = Oscilloscope(sample_rate_hz=1e9, trigger_jitter_s=1e-9)
+        capture = scope.capture(np.ones(100), 1e9, rng)
+        assert capture.times_s[0] == pytest.approx(capture.trigger_offset_s)
+
+    def test_invalid_inputs_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            Oscilloscope(sample_rate_hz=0)
+        scope = Oscilloscope(sample_rate_hz=1e9)
+        with pytest.raises(MeasurementError):
+            scope.capture(np.array([1.0]), 1e9, rng)
+        with pytest.raises(MeasurementError):
+            scope.capture(np.ones(100), 0.0, rng)

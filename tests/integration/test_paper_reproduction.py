@@ -1,0 +1,116 @@
+"""End-to-end reproduction checks: measured campaigns vs the paper.
+
+These tests run real (subset) campaigns through the full pipeline —
+kernel generation, cycle simulation, EM projection, band-power
+measurement — and assert the *shape* claims of the paper's Section V.
+They are the executable version of EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import core2duo_claims
+from repro.analysis.stats import matrix_correlations
+from repro.core.campaign import run_campaign
+from repro.core.savat import MeasurementConfig, measure_savat
+from repro.isa.events import EVENT_ORDER
+from repro.machines.reference_data import (
+    CORE2DUO_10CM,
+    CORE2DUO_100CM,
+    REPORTED_STD_OVER_MEAN,
+)
+
+#: Representative event subset covering all four paper groups.
+SUBSET = ("LDM", "STM", "LDL2", "STL2", "LDL1", "NOI", "ADD", "DIV")
+
+
+@pytest.mark.slow
+class TestCore2Duo10cmReproduction:
+    @pytest.fixture(scope="class")
+    def campaign(self, core2duo_10cm):
+        return run_campaign(
+            core2duo_10cm, events=SUBSET, repetitions=4, seed=2014
+        )
+
+    def test_shape_agreement_with_figure9(self, campaign):
+        indices = [EVENT_ORDER.index(name) for name in SUBSET]
+        reference = CORE2DUO_10CM.values_zj[np.ix_(indices, indices)]
+        stats = matrix_correlations(campaign.mean(), reference)
+        assert stats["spearman"] > 0.8
+        assert stats["pearson"] > 0.7
+        assert stats["mean_relative_error"] < 0.5
+
+    def test_repeatability_matches_paper(self, campaign):
+        """Paper: std/mean over ten repetitions averages ~0.05."""
+        ratio = campaign.std_over_mean()
+        assert 0.01 < ratio < 0.12
+        assert ratio == pytest.approx(REPORTED_STD_OVER_MEAN, abs=0.05)
+
+    def test_diagonal_predominantly_minimal(self, campaign):
+        rows, columns = campaign.diagonal_minimality(tolerance_zj=0.3)
+        assert rows >= len(SUBSET) - 2
+        assert columns >= len(SUBSET) - 2
+
+    def test_group_structure(self, campaign):
+        """Off-chip and L2 events are far from arithmetic; arithmetic
+        and L1 hits are mutually indistinguishable."""
+        assert campaign.cell("ADD", "LDM") > 3 * campaign.cell("ADD", "ADD")
+        assert campaign.cell("ADD", "STL2") > 3 * campaign.cell("ADD", "ADD")
+        assert campaign.cell("ADD", "LDL1") < 2 * campaign.cell("ADD", "ADD")
+
+    def test_ldm_vs_ldl2_highest_in_their_rows(self, campaign):
+        """The 'fields differ' observation: LDM/LDL2 tops LDM/arith."""
+        assert campaign.cell("LDM", "LDL2") > campaign.cell("LDM", "ADD")
+
+    def test_asymmetry_is_small(self, campaign):
+        assert campaign.asymmetry() < 0.2
+
+
+@pytest.mark.slow
+class TestDistanceReproduction:
+    def test_savat_collapses_with_distance(self, core2duo_10cm, core2duo_100cm):
+        near = measure_savat(core2duo_10cm, "ADD", "LDL2")
+        far = measure_savat(core2duo_100cm, "ADD", "LDL2")
+        assert far.savat_zj < 0.4 * near.savat_zj
+
+    def test_offchip_dominates_at_100cm(self, core2duo_100cm):
+        offchip = measure_savat(core2duo_100cm, "ADD", "LDM")
+        l2 = measure_savat(core2duo_100cm, "ADD", "LDL2")
+        assert offchip.savat_zj > 1.3 * l2.savat_zj
+
+    def test_100cm_values_near_reference(self, core2duo_100cm):
+        for pair in (("ADD", "LDM"), ("ADD", "LDL2"), ("LDM", "STM")):
+            measured = measure_savat(core2duo_100cm, *pair).savat_zj
+            reference = CORE2DUO_100CM.cell(*pair)
+            assert measured == pytest.approx(reference, rel=0.45)
+
+
+@pytest.mark.slow
+class TestQualitativeClaimsOnMeasuredData:
+    def test_most_section5_claims_hold_on_full_pipeline(self, core2duo_10cm):
+        """Run the Section V claim checks against a measured campaign
+        over the events they reference."""
+        events = ("LDM", "STM", "LDL2", "STL2", "LDL1", "STL1", "NOI", "ADD", "SUB", "MUL", "DIV")
+        campaign = run_campaign(core2duo_10cm, events=events, repetitions=2, seed=7)
+        checks = core2duo_claims(campaign)
+        passed = sum(1 for check in checks if check.holds)
+        assert passed >= len(checks) - 1, "\n".join(str(c) for c in checks)
+
+
+@pytest.mark.slow
+class TestOtherMachines:
+    def test_pentium3m_div_order_of_magnitude(self):
+        from repro.machines.calibrated import load_calibrated_machine
+
+        machine = load_calibrated_machine("pentium3m", 0.10)
+        add_div = measure_savat(machine, "ADD", "DIV").savat_zj
+        add_mul = measure_savat(machine, "ADD", "MUL").savat_zj
+        assert add_div > 4 * add_mul
+
+    def test_turionx2_div_rivals_offchip(self):
+        from repro.machines.calibrated import load_calibrated_machine
+
+        machine = load_calibrated_machine("turionx2", 0.10)
+        add_div = measure_savat(machine, "ADD", "DIV").savat_zj
+        add_ldm = measure_savat(machine, "ADD", "LDM").savat_zj
+        assert add_div > 0.4 * add_ldm

@@ -1,0 +1,168 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble, parse_line, parse_operand
+from repro.isa.instructions import Immediate, MemoryOperand, Opcode, Register
+
+
+class TestParseOperand:
+    def test_register(self):
+        assert parse_operand("eax") == Register("eax")
+
+    def test_decimal_immediate(self):
+        assert parse_operand("173") == Immediate(173)
+
+    def test_hex_immediate(self):
+        assert parse_operand("0xFF") == Immediate(255)
+
+    def test_negative_immediate(self):
+        assert parse_operand("-8") == Immediate(-8)
+
+    def test_memory_base(self):
+        operand = parse_operand("[esi]")
+        assert isinstance(operand, MemoryOperand)
+        assert operand.base.name == "esi"
+
+    def test_memory_base_displacement(self):
+        operand = parse_operand("[esi+64]")
+        assert operand.displacement == 64
+
+    def test_memory_negative_displacement(self):
+        operand = parse_operand("[ebp-4]")
+        assert operand.displacement == -4
+
+    def test_memory_index_scale(self):
+        operand = parse_operand("[esi+eax*4+8]")
+        assert operand.index.name == "eax"
+        assert operand.scale == 4
+        assert operand.displacement == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_operand("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_operand("17x")
+
+
+class TestParseLine:
+    def test_blank_line(self):
+        assert parse_line("   ") is None
+
+    def test_comment_only(self):
+        assert parse_line("; a comment") is None
+        assert parse_line("# another") is None
+
+    def test_mov_register(self):
+        instruction = parse_line("mov eax, ebx")
+        assert instruction.opcode is Opcode.MOV
+
+    def test_mov_load(self):
+        instruction = parse_line("mov eax, [esi]")
+        assert instruction.opcode is Opcode.LOAD
+
+    def test_mov_store(self):
+        instruction = parse_line("mov [esi], 0xFFFFFFFF")
+        assert instruction.opcode is Opcode.STORE
+        assert instruction.src.value == 0xFFFFFFFF
+
+    def test_mov_memory_to_memory_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_line("mov [esi], [edi]")
+
+    def test_alu_ops(self):
+        for mnemonic, opcode in (
+            ("add", Opcode.ADD),
+            ("sub", Opcode.SUB),
+            ("and", Opcode.AND),
+            ("or", Opcode.OR),
+            ("xor", Opcode.XOR),
+            ("shl", Opcode.SHL),
+            ("shr", Opcode.SHR),
+            ("imul", Opcode.IMUL),
+            ("cmp", Opcode.CMP),
+            ("test", Opcode.TEST),
+        ):
+            assert parse_line(f"{mnemonic} eax, 3").opcode is opcode
+
+    def test_one_operand_ops(self):
+        assert parse_line("inc ecx").opcode is Opcode.INC
+        assert parse_line("dec ecx").opcode is Opcode.DEC
+        assert parse_line("idiv ebx").opcode is Opcode.IDIV
+
+    def test_lea(self):
+        instruction = parse_line("lea ebx, [esi+64]")
+        assert instruction.opcode is Opcode.LEA
+
+    def test_branches(self):
+        assert parse_line("jmp top").target == "top"
+        assert parse_line("jnz loop").opcode is Opcode.JNZ
+        assert parse_line("jz done").opcode is Opcode.JZ
+
+    def test_nop_and_halt(self):
+        assert parse_line("nop").opcode is Opcode.NOP
+        assert parse_line("halt").opcode is Opcode.HALT
+
+    def test_nop_with_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_line("nop eax")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            parse_line("fadd st0, st1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            parse_line("add eax")
+
+    def test_inline_comment_stripped(self):
+        instruction = parse_line("add eax, 1 ; increment")
+        assert instruction.opcode is Opcode.ADD
+
+
+class TestAssemble:
+    SOURCE = """
+    ; a counted loop
+        mov ecx, 4
+    top:
+        add eax, 1
+        dec ecx
+        jnz top
+        halt
+    """
+
+    def test_program_length(self):
+        program = assemble(self.SOURCE)
+        assert len(program) == 5
+
+    def test_label_resolution(self):
+        program = assemble(self.SOURCE)
+        assert program.label_index("top") == 1
+
+    def test_label_on_same_line(self):
+        program = assemble("start: nop\njmp start")
+        assert program.label_index("start") == 0
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined branch target"):
+            assemble("jmp nowhere")
+
+    def test_trailing_label_rejected(self):
+        with pytest.raises(AssemblyError, match="no instruction"):
+            assemble("nop\nend:")
+
+    def test_consecutive_labels_rejected(self):
+        with pytest.raises(AssemblyError, match="consecutive labels"):
+            assemble("a:\nb:\nnop")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus eax")
+
+    def test_roundtrip_through_text(self):
+        program = assemble(self.SOURCE)
+        reassembled = assemble(program.to_text())
+        assert [i.opcode for i in reassembled] == [i.opcode for i in program]

@@ -1,0 +1,89 @@
+"""Property tests: assembling rendered programs reproduces them."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    imm,
+    mem,
+    reg,
+)
+from repro.isa.program import Program
+
+_REGISTERS = ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
+
+_two_operand = st.sampled_from(
+    [Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.IMUL,
+     Opcode.CMP, Opcode.TEST, Opcode.MOV, Opcode.CMOVZ, Opcode.CMOVNZ]
+)
+_register = st.sampled_from(_REGISTERS)
+_immediate = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@st.composite
+def _instructions(draw) -> Instruction:
+    kind = draw(st.sampled_from(["alu", "one", "load", "store", "lea", "nop"]))
+    if kind == "alu":
+        source = draw(st.one_of(_register.map(reg), _immediate.map(imm)))
+        return Instruction(draw(_two_operand), dest=reg(draw(_register)), src=source)
+    if kind == "one":
+        return Instruction(
+            draw(st.sampled_from([Opcode.INC, Opcode.DEC, Opcode.IDIV])),
+            dest=reg(draw(_register)),
+        )
+    if kind == "load":
+        return Instruction(
+            Opcode.LOAD,
+            dest=reg(draw(_register)),
+            src=mem(draw(_register), displacement=draw(st.integers(0, 4096))),
+        )
+    if kind == "store":
+        return Instruction(
+            Opcode.STORE,
+            dest=mem(draw(_register), displacement=draw(st.integers(0, 4096))),
+            src=draw(st.one_of(_register.map(reg), _immediate.map(imm))),
+        )
+    if kind == "lea":
+        return Instruction(
+            Opcode.LEA,
+            dest=reg(draw(_register)),
+            src=mem(draw(_register), index=draw(_register), scale=draw(st.sampled_from([1, 2, 4, 8]))),
+        )
+    return Instruction(Opcode.NOP)
+
+
+@given(instructions=st.lists(_instructions(), min_size=1, max_size=20))
+@settings(max_examples=80, deadline=None)
+def test_to_text_assemble_roundtrip(instructions):
+    """Property: any renderable program survives text round-trips."""
+    program = Program(instructions + [Instruction(Opcode.HALT)])
+    reassembled = assemble(program.to_text())
+    assert len(reassembled) == len(program)
+    for original, parsed in zip(program, reassembled):
+        assert parsed.opcode is original.opcode
+        assert str(parsed) == str(original)
+
+
+@given(instructions=st.lists(_instructions(), min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_execution(instructions):
+    """Property: round-tripped programs execute identically."""
+    from repro.uarch.cache import CacheGeometry
+    from repro.uarch.core import Core
+
+    program = Program(instructions + [Instruction(Opcode.HALT)])
+    reassembled = assemble(program.to_text())
+
+    def run(target):
+        core = Core(
+            clock_hz=1e9,
+            l1_geometry=CacheGeometry(1024, 2, 64),
+            l2_geometry=CacheGeometry(8192, 4, 64),
+        )
+        core.registers.update({"esi": 0x1000, "edi": 0x2000, "ebp": 0x3000, "esp": 0x4000})
+        result = core.run(target)
+        return result.registers, result.cycles
+
+    assert run(program) == run(reassembled)

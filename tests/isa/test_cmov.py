@@ -1,0 +1,95 @@
+"""Tests for the conditional-move instructions (constant-time support)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble, parse_line
+from repro.isa.instructions import ALU_OPCODES, Opcode
+from repro.uarch.cache import CacheGeometry
+from repro.uarch.core import Core
+
+
+def _core() -> Core:
+    return Core(
+        clock_hz=1e9,
+        l1_geometry=CacheGeometry(1024, 2, 64),
+        l2_geometry=CacheGeometry(8192, 4, 64),
+    )
+
+
+class TestAssembly:
+    def test_cmovz_parses(self):
+        instruction = parse_line("cmovz eax, ebx")
+        assert instruction.opcode is Opcode.CMOVZ
+
+    def test_cmovnz_parses(self):
+        instruction = parse_line("cmovnz edx, 5")
+        assert instruction.opcode is Opcode.CMOVNZ
+
+    def test_memory_operands_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_line("cmovz eax, [esi]")
+        with pytest.raises(AssemblyError):
+            parse_line("cmovz [esi], eax")
+
+    def test_operand_count_enforced(self):
+        with pytest.raises(AssemblyError):
+            parse_line("cmovz eax")
+
+    def test_cmov_in_alu_set(self):
+        assert Opcode.CMOVZ in ALU_OPCODES
+        assert Opcode.CMOVNZ in ALU_OPCODES
+
+
+class TestSemantics:
+    def test_cmovz_moves_on_zero(self):
+        core = _core()
+        core.run(assemble("mov eax, 0\ntest eax, 1\ncmovz ebx, 42\nhalt"))
+        assert core.registers["ebx"] == 42
+
+    def test_cmovz_holds_on_nonzero(self):
+        core = _core()
+        core.run(assemble("mov eax, 1\nmov ebx, 7\ntest eax, 1\ncmovz ebx, 42\nhalt"))
+        assert core.registers["ebx"] == 7
+
+    def test_cmovnz_mirrors(self):
+        core = _core()
+        core.run(assemble("mov eax, 1\ntest eax, 1\ncmovnz ebx, 9\ncmovz edx, 9\nhalt"))
+        assert core.registers["ebx"] == 9
+        assert core.registers["edx"] == 0
+
+    def test_cmov_does_not_touch_flags(self):
+        core = _core()
+        core.run(
+            assemble(
+                "mov eax, 0\ntest eax, 1\ncmovz ebx, 1\njz took\nmov edx, 99\ntook: halt"
+            )
+        )
+        assert core.registers["edx"] == 0  # jz still sees ZF from test
+
+
+class TestConstantTimeProperty:
+    @given(condition_value=st.integers(min_value=0, max_value=1))
+    @settings(max_examples=10, deadline=None)
+    def test_timing_independent_of_condition(self, condition_value):
+        """Property: cmov costs the same cycles whichever way it goes —
+        the microarchitectural guarantee branchless code relies on."""
+        source = f"mov eax, {condition_value}\ntest eax, 1\ncmovz ebx, 42\nhalt"
+        core = _core()
+        result = core.run(assemble(source))
+        baseline_core = _core()
+        baseline = baseline_core.run(assemble("mov eax, 0\ntest eax, 1\ncmovz ebx, 42\nhalt"))
+        assert result.cycles == baseline.cycles
+
+    @given(condition_value=st.integers(min_value=0, max_value=1))
+    @settings(max_examples=10, deadline=None)
+    def test_activity_independent_of_condition(self, condition_value):
+        """Property: identical switching activity for both directions."""
+        import numpy as np
+
+        source = f"mov eax, {condition_value}\ntest eax, 1\ncmovnz ebx, 42\nhalt"
+        trace = _core().run(assemble(source)).trace
+        reference_source = "mov eax, 0\ntest eax, 1\ncmovnz ebx, 42\nhalt"
+        reference = _core().run(assemble(reference_source)).trace
+        assert np.allclose(trace.data, reference.data)

@@ -1,0 +1,96 @@
+"""Unit tests for the paper's eleven instruction events (Figure 5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.events import (
+    EVENT_ORDER,
+    EventKind,
+    Footprint,
+    PAPER_EVENTS,
+    event_pairs,
+    get_event,
+)
+from repro.isa.instructions import MemoryOperand, Opcode
+
+
+class TestEventCatalog:
+    def test_eleven_events(self):
+        assert len(PAPER_EVENTS) == 11
+
+    def test_paper_order(self):
+        assert EVENT_ORDER == (
+            "LDM", "STM", "LDL2", "STL2", "LDL1", "STL1",
+            "NOI", "ADD", "SUB", "MUL", "DIV",
+        )
+
+    def test_lookup_case_insensitive(self):
+        assert get_event("ldm").name == "LDM"
+
+    def test_unknown_event(self):
+        with pytest.raises(ConfigurationError, match="unknown event"):
+            get_event("FDIV")
+
+    def test_footprints_match_figure5(self):
+        assert get_event("LDM").footprint is Footprint.MEMORY
+        assert get_event("STM").footprint is Footprint.MEMORY
+        assert get_event("LDL2").footprint is Footprint.L2
+        assert get_event("STL2").footprint is Footprint.L2
+        assert get_event("LDL1").footprint is Footprint.L1
+        assert get_event("STL1").footprint is Footprint.L1
+        for name in ("NOI", "ADD", "SUB", "MUL", "DIV"):
+            assert get_event(name).footprint is Footprint.NONE
+
+    def test_kinds(self):
+        assert get_event("LDM").kind is EventKind.LOAD
+        assert get_event("STL1").kind is EventKind.STORE
+        assert get_event("DIV").kind is EventKind.ARITHMETIC
+        assert get_event("NOI").kind is EventKind.NONE
+
+    def test_loads_share_x86_text(self):
+        assert get_event("LDM").x86_text == get_event("LDL1").x86_text
+
+
+class TestTestInstruction:
+    def test_noi_has_no_instruction(self):
+        assert get_event("NOI").test_instruction() is None
+
+    def test_load_uses_pointer_register(self):
+        instruction = get_event("LDL2").test_instruction("edi")
+        assert instruction.opcode is Opcode.LOAD
+        assert isinstance(instruction.src, MemoryOperand)
+        assert instruction.src.base.name == "edi"
+
+    def test_store_writes_paper_constant(self):
+        instruction = get_event("STM").test_instruction()
+        assert instruction.opcode is Opcode.STORE
+        assert instruction.src.value == 0xFFFFFFFF
+
+    def test_arithmetic_uses_imm_173(self):
+        for name, opcode in (("ADD", Opcode.ADD), ("SUB", Opcode.SUB), ("MUL", Opcode.IMUL)):
+            instruction = get_event(name).test_instruction()
+            assert instruction.opcode is opcode
+            assert instruction.src.value == 173
+
+    def test_div_instruction(self):
+        assert get_event("DIV").test_instruction().opcode is Opcode.IDIV
+
+    def test_role_is_test(self):
+        assert get_event("ADD").test_instruction().role == "test"
+
+
+class TestEventPairs:
+    def test_all_ordered_pairs(self):
+        pairs = event_pairs()
+        assert len(pairs) == 121
+
+    def test_contains_both_orders(self):
+        pairs = {(a.name, b.name) for a, b in event_pairs()}
+        assert ("ADD", "LDM") in pairs
+        assert ("LDM", "ADD") in pairs
+
+    def test_is_memory_flags(self):
+        assert get_event("LDL1").is_memory
+        assert not get_event("MUL").is_memory
+        assert get_event("STM").is_store
+        assert not get_event("LDM").is_store

@@ -1,0 +1,128 @@
+"""Unit tests for the instruction/operand model."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    ALU_OPCODES,
+    BRANCH_OPCODES,
+    Immediate,
+    Instruction,
+    MEMORY_OPCODES,
+    MemoryOperand,
+    Opcode,
+    REGISTER_NAMES,
+    Register,
+    imm,
+    mem,
+    reg,
+)
+
+
+class TestRegister:
+    def test_valid_names(self):
+        for name in REGISTER_NAMES:
+            assert Register(name).name == name
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(AssemblyError):
+            Register("rax")
+
+    def test_str(self):
+        assert str(Register("eax")) == "eax"
+
+
+class TestImmediate:
+    def test_value_coerced_to_int(self):
+        assert imm(173).value == 173
+
+    def test_negative_allowed(self):
+        assert imm(-5).value == -5
+
+    def test_str(self):
+        assert str(imm(42)) == "42"
+
+
+class TestMemoryOperand:
+    def test_base_only(self):
+        operand = mem("esi")
+        assert operand.base.name == "esi"
+        assert operand.displacement == 0
+
+    def test_base_and_displacement(self):
+        operand = mem("esi", displacement=64)
+        assert str(operand) == "[esi+64]"
+
+    def test_index_with_scale(self):
+        operand = mem("esi", index="eax", scale=4)
+        assert "eax*4" in str(operand)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(AssemblyError):
+            mem("esi", index="eax", scale=3)
+
+    def test_empty_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            MemoryOperand()
+
+    def test_displacement_only(self):
+        operand = mem(displacement=0x1000)
+        assert operand.displacement == 0x1000
+
+
+class TestInstruction:
+    def test_branch_requires_target(self):
+        with pytest.raises(AssemblyError):
+            Instruction(Opcode.JNZ)
+
+    def test_branch_with_target(self):
+        instruction = Instruction(Opcode.JNZ, target="loop")
+        assert instruction.is_branch
+        assert instruction.target == "loop"
+
+    def test_load_requires_register_dest(self):
+        with pytest.raises(AssemblyError):
+            Instruction(Opcode.LOAD, dest=mem("esi"), src=mem("edi"))
+
+    def test_load_requires_memory_src(self):
+        with pytest.raises(AssemblyError):
+            Instruction(Opcode.LOAD, dest=reg("eax"), src=reg("ebx"))
+
+    def test_store_requires_memory_dest(self):
+        with pytest.raises(AssemblyError):
+            Instruction(Opcode.STORE, dest=reg("eax"), src=imm(1))
+
+    def test_is_memory(self):
+        load = Instruction(Opcode.LOAD, dest=reg("eax"), src=mem("esi"))
+        assert load.is_memory
+        add = Instruction(Opcode.ADD, dest=reg("eax"), src=imm(1))
+        assert not add.is_memory
+
+    def test_str_with_label(self):
+        instruction = Instruction(
+            Opcode.ADD, dest=reg("eax"), src=imm(173), label="top"
+        )
+        assert str(instruction) == "top: add eax, 173"
+
+    def test_str_branch(self):
+        assert str(Instruction(Opcode.JMP, target="top")) == "jmp top"
+
+    def test_role_defaults_empty(self):
+        assert Instruction(Opcode.NOP).role == ""
+
+
+class TestOpcodeSets:
+    def test_memory_opcodes(self):
+        assert MEMORY_OPCODES == {Opcode.LOAD, Opcode.STORE}
+
+    def test_branch_opcodes(self):
+        assert Opcode.JMP in BRANCH_OPCODES
+        assert Opcode.JNZ in BRANCH_OPCODES
+        assert Opcode.JZ in BRANCH_OPCODES
+
+    def test_alu_opcodes_exclude_memory_and_branch(self):
+        assert not (ALU_OPCODES & MEMORY_OPCODES)
+        assert not (ALU_OPCODES & BRANCH_OPCODES)
+
+    def test_opcode_str(self):
+        assert str(Opcode.IMUL) == "imul"

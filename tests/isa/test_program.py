@@ -1,0 +1,61 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction, Opcode, imm, reg
+from repro.isa.program import Program
+
+
+def _nop(label=None, role=""):
+    return Instruction(Opcode.NOP, label=label, role=role)
+
+
+class TestProgram:
+    def test_len_and_iteration(self):
+        program = Program([_nop(), _nop()])
+        assert len(program) == 2
+        assert all(i.opcode is Opcode.NOP for i in program)
+
+    def test_indexing(self):
+        add = Instruction(Opcode.ADD, dest=reg("eax"), src=imm(1))
+        program = Program([_nop(), add])
+        assert program[1] is add
+
+    def test_label_table(self):
+        program = Program([_nop("start"), _nop(), _nop("end")])
+        assert program.labels == {"start": 0, "end": 2}
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            Program([_nop("x"), _nop("x")])
+
+    def test_undefined_branch_target_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined branch target"):
+            Program([Instruction(Opcode.JMP, target="missing")])
+
+    def test_label_index_missing(self):
+        program = Program([_nop()])
+        with pytest.raises(AssemblyError, match="not defined"):
+            program.label_index("ghost")
+
+    def test_count_role(self):
+        program = Program([_nop(role="test"), _nop(), _nop(role="test")])
+        assert program.count_role("test") == 2
+
+    def test_concatenate(self):
+        first = Program([_nop("a")])
+        second = Program([_nop("b")])
+        joined = Program.concatenate([first, second], name="joined")
+        assert len(joined) == 2
+        assert joined.labels == {"a": 0, "b": 1}
+
+    def test_concatenate_duplicate_labels_rejected(self):
+        first = Program([_nop("a")])
+        second = Program([_nop("a")])
+        with pytest.raises(AssemblyError):
+            Program.concatenate([first, second])
+
+    def test_to_text(self):
+        program = Program([_nop("here")])
+        assert program.to_text() == "here: nop"

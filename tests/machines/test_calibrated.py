@@ -1,0 +1,64 @@
+"""Tests for calibrated-machine loading and distance synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.em.environment import NoiseEnvironment
+from repro.machines.calibrated import (
+    load_calibrated_machine,
+    reference_for,
+)
+
+
+class TestReferenceFor:
+    def test_published_distances_pass_through(self):
+        reference = reference_for("core2duo", 0.10)
+        assert reference.exact
+        assert reference.figure.startswith("Fig")
+
+    def test_core2duo_interpolated_distance(self):
+        reference = reference_for("core2duo", 0.25)
+        assert not reference.exact
+        # Interpolated values sit (to fit tolerance) between the 10 cm
+        # and 50 cm anchors.
+        assert reference.cell("ADD", "LDM") <= reference_for("core2duo", 0.10).cell("ADD", "LDM")
+        assert (
+            reference.cell("ADD", "LDM")
+            >= 0.9 * reference_for("core2duo", 0.50).cell("ADD", "LDM")
+        )
+
+    def test_other_machine_scaled_distance(self):
+        reference = reference_for("pentium3m", 0.50)
+        assert not reference.exact
+        base = reference_for("pentium3m", 0.10)
+        assert reference.cell("ADD", "LDM") < base.symmetrized()[7, 0]
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(Exception):
+            reference_for("imaginary", 0.10)
+
+
+class TestLoadCalibratedMachine:
+    def test_cached_instances_shared(self, core2duo_10cm):
+        again = load_calibrated_machine("core2duo", 0.10)
+        assert again.calibration is core2duo_10cm.calibration
+
+    def test_environment_override_does_not_recalibrate(self, core2duo_10cm):
+        quiet = NoiseEnvironment(instrument_floor_w_per_hz=0.0, include_thermal=False)
+        machine = load_calibrated_machine("core2duo", 0.10, environment=quiet)
+        assert machine.environment is quiet
+        assert machine.calibration is core2duo_10cm.calibration
+
+    def test_describe(self, core2duo_10cm):
+        text = core2duo_10cm.describe()
+        assert "Core 2 Duo" in text
+        assert "10 cm" in text
+
+    def test_self_noise_lookup_case_insensitive(self, core2duo_10cm):
+        assert core2duo_10cm.self_noise_j("add") == core2duo_10cm.self_noise_j("ADD")
+
+    def test_make_core_is_fresh(self, core2duo_10cm):
+        core1 = core2duo_10cm.make_core()
+        core2 = core2duo_10cm.make_core()
+        assert core1 is not core2

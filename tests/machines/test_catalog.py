@@ -1,0 +1,60 @@
+"""Unit tests for the Figure 6 machine catalog."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machines.catalog import (
+    CORE2DUO,
+    MACHINE_NAMES,
+    PENTIUM3M,
+    TURIONX2,
+    get_machine,
+)
+
+
+class TestFigure6Geometry:
+    def test_core2duo_caches(self):
+        assert CORE2DUO.l1_geometry.size_bytes == 32 * 1024
+        assert CORE2DUO.l1_geometry.ways == 8
+        assert CORE2DUO.l2_geometry.size_bytes == 4096 * 1024
+        assert CORE2DUO.l2_geometry.ways == 16
+
+    def test_pentium3m_caches(self):
+        assert PENTIUM3M.l1_geometry.size_bytes == 16 * 1024
+        assert PENTIUM3M.l1_geometry.ways == 4
+        assert PENTIUM3M.l2_geometry.size_bytes == 512 * 1024
+        assert PENTIUM3M.l2_geometry.ways == 8
+
+    def test_turionx2_caches(self):
+        assert TURIONX2.l1_geometry.size_bytes == 64 * 1024
+        assert TURIONX2.l1_geometry.ways == 2
+        assert TURIONX2.l2_geometry.size_bytes == 1024 * 1024
+        assert TURIONX2.l2_geometry.ways == 16
+
+
+class TestCatalog:
+    def test_three_machines(self):
+        assert MACHINE_NAMES == ("core2duo", "pentium3m", "turionx2")
+
+    def test_lookup_case_insensitive(self):
+        assert get_machine("Core2Duo") is CORE2DUO
+
+    def test_unknown_machine(self):
+        with pytest.raises(ConfigurationError, match="unknown machine"):
+            get_machine("pentium4")
+
+    def test_make_core_uses_spec(self):
+        core = CORE2DUO.make_core()
+        assert core.clock_hz == CORE2DUO.clock_hz
+        assert core.hierarchy.l1_geometry == CORE2DUO.l1_geometry
+
+    def test_describe_mentions_figure6_numbers(self):
+        text = CORE2DUO.describe()
+        assert "32 KB" in text
+        assert "4096 KB" in text
+
+    def test_older_dividers_slower(self):
+        """Pentium 3 M and Turion dividers are slower than Core 2's —
+        the microarchitectural reason their DIV SAVAT is higher."""
+        assert PENTIUM3M.timings.div_cycles > CORE2DUO.timings.div_cycles
+        assert TURIONX2.timings.div_cycles > CORE2DUO.timings.div_cycles

@@ -1,0 +1,65 @@
+"""Tests for the compensating-activity mitigation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mitigations.compensation import (
+    compensate_sequences,
+    evaluate_compensation,
+)
+
+
+class TestCompensateSequences:
+    def test_balanced_paths_unchanged(self):
+        padded_a, padded_b = compensate_sequences(["ADD", "MUL"], ["MUL", "ADD"])
+        assert sorted(padded_a) == sorted(padded_b) == ["ADD", "MUL"]
+
+    def test_excess_events_mirrored(self):
+        padded_a, padded_b = compensate_sequences(["ADD"], ["ADD", "DIV"])
+        assert padded_a == ("ADD", "DIV")
+        assert padded_b == ("ADD", "DIV")
+
+    def test_multiset_semantics(self):
+        padded_a, padded_b = compensate_sequences(["DIV", "DIV"], ["DIV"])
+        assert sorted(padded_a) == sorted(padded_b)
+        assert padded_a.count("DIV") == 2
+
+    def test_disjoint_paths_union(self):
+        padded_a, padded_b = compensate_sequences(["MUL"], ["LDM"])
+        assert sorted(padded_a) == sorted(padded_b) == ["LDM", "MUL"]
+
+    def test_case_insensitive(self):
+        padded_a, _padded_b = compensate_sequences(["add"], ["div"])
+        assert padded_a == ("ADD", "DIV")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compensate_sequences([], ["ADD"])
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compensate_sequences(["FDIV"], ["ADD"])
+
+
+@pytest.mark.slow
+class TestEvaluateCompensation:
+    def test_div_leak_suppressed(self, core2duo_10cm):
+        """The paper's worst case: a DIV executed or not depending on a
+        secret.  Compensation pads the quiet path with a dummy DIV."""
+        report = evaluate_compensation(core2duo_10cm, ["ADD", "DIV"], ["ADD"])
+        assert report.savat_reduction > 5
+        assert report.time_overhead > 0.1  # the dummy DIV costs real time
+
+    def test_memory_leak_suppressed(self, core2duo_10cm):
+        report = evaluate_compensation(core2duo_10cm, ["MUL", "LDL2"], ["MUL"])
+        assert report.savat_after_zj < 0.3 * report.savat_before_zj
+
+    def test_balanced_paths_cost_nothing(self, core2duo_10cm):
+        report = evaluate_compensation(core2duo_10cm, ["ADD", "MUL"], ["MUL", "ADD"])
+        assert report.time_overhead == pytest.approx(0.0, abs=0.05)
+
+    def test_report_str(self, core2duo_10cm):
+        report = evaluate_compensation(core2duo_10cm, ["ADD", "DIV"], ["ADD"])
+        text = str(report)
+        assert "quieter" in text
+        assert "execution time" in text

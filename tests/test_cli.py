@@ -1,0 +1,103 @@
+"""Tests for the savat command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_measure_defaults(self):
+        args = build_parser().parse_args(["measure", "ADD", "LDM"])
+        assert args.machine == "core2duo"
+        assert args.distance == pytest.approx(0.10)
+        assert args.frequency == pytest.approx(80e3)
+
+    def test_campaign_formats(self):
+        args = build_parser().parse_args(["campaign", "--format", "json"])
+        assert args.format == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--format", "xml"])
+
+    def test_audit_memory_assumption(self):
+        args = build_parser().parse_args(["audit", "x.s", "--assume-memory", "L2"])
+        assert args.assume_memory == "L2"
+
+
+@pytest.mark.slow
+class TestCommands:
+    def test_measure(self, capsys, core2duo_10cm):
+        code = main(["measure", "ADD", "MUL"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "SAVAT(ADD/MUL)" in output
+        assert "inst_loop_count" in output
+
+    def test_measure_unknown_event_fails_cleanly(self, capsys):
+        code = main(["measure", "ADD", "FDIV"])
+        assert code == 2
+        assert "unknown event" in capsys.readouterr().err
+
+    def test_campaign_csv(self, capsys, core2duo_10cm):
+        code = main(
+            ["campaign", "--events", "ADD,MUL", "--repetitions", "1", "--format", "csv"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert output.splitlines()[0] == ",ADD,MUL"
+
+    def test_campaign_json_roundtrips(self, capsys, core2duo_10cm):
+        code = main(
+            ["campaign", "--events", "ADD,SUB", "--repetitions", "1", "--format", "json"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["events"] == ["ADD", "SUB"]
+
+    def test_audit_leaky_file(self, capsys, tmp_path):
+        source = tmp_path / "victim.s"
+        source.write_text("test ebx, 1\njz zero\nmov eax, [esi]\nidiv ebx\nzero: halt\n")
+        code = main(["audit", str(source)])
+        output = capsys.readouterr().out
+        assert code == 1  # leaks found -> nonzero exit for CI use
+        assert "LEAKS" in output
+
+    def test_audit_clean_file(self, capsys, tmp_path):
+        source = tmp_path / "clean.s"
+        source.write_text("add eax, 1\nhalt\n")
+        code = main(["audit", str(source)])
+        assert code == 0
+        assert "no conditional branches" in capsys.readouterr().out
+
+    def test_audit_missing_file(self, capsys):
+        code = main(["audit", "/nonexistent/file.s"])
+        assert code == 2
+
+    def test_attack(self, capsys, core2duo_10cm):
+        code = main(["attack", "--key", "1011", "--seed", "1"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "recovered key: 1011" in output
+
+
+@pytest.mark.slow
+class TestExtendedCommands:
+    def test_epi(self, capsys, core2duo_10cm):
+        code = main(["epi"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "energy per instruction" in output
+        assert "LDM" in output and "pJ" in output
+
+    def test_frequency(self, capsys):
+        code = main(["frequency", "--low", "40000", "--high", "100000", "--step", "20000"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "recommend" in output
+        assert "<- chosen" in output

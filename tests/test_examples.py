@@ -1,0 +1,77 @@
+"""Tests keeping the examples runnable and documented.
+
+Every example must compile and carry a usage docstring; the quick ones
+are executed end to end (the heavyweight campaign examples are covered
+by the benchmark harness, which runs the same code paths).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleHygiene:
+    def test_expected_examples_present(self):
+        names = {path.stem for path in EXAMPLE_FILES}
+        assert {
+            "quickstart",
+            "full_campaign",
+            "distance_study",
+            "rsa_attack_demo",
+            "instruction_clustering",
+            "svf_vs_savat",
+            "multi_channel",
+            "mitigation_study",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_compiles(self, path):
+        compiled = compile(path.read_text(), str(path), "exec")
+        assert compiled is not None
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_documented(self, path):
+        source = path.read_text()
+        assert source.startswith("#!/usr/bin/env python3"), path.stem
+        assert '"""' in source.split("\n", 2)[1], f"{path.stem} lacks a docstring"
+        assert "Run:" in source, f"{path.stem} docstring lacks a Run: line"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+
+@pytest.mark.slow
+class TestExampleExecution:
+    def _run_main(self, stem: str, capsys) -> str:
+        module = _load(EXAMPLES_DIR / f"{stem}.py")
+        module.main()
+        return capsys.readouterr().out
+
+    def test_quickstart_runs(self, capsys, core2duo_10cm):
+        output = self._run_main("quickstart", capsys)
+        assert "SAVAT(ADD, LDM)" in output
+        assert "error floor" in output
+
+    def test_svf_vs_savat_runs(self, capsys, core2duo_10cm):
+        output = self._run_main("svf_vs_savat", capsys)
+        assert "SVF of the modexp victim" in output
+        assert "LDM/NOI" in output
+
+    def test_multi_channel_runs(self, capsys, core2duo_10cm):
+        output = self._run_main("multi_channel", capsys)
+        assert "Normalized distinguishability" in output
+        assert "acoustic" in output

@@ -1,0 +1,149 @@
+"""Unit and property tests for activity traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.uarch.activity import ActivityRecorder, ActivityTrace
+from repro.uarch.components import Component, COMPONENT_INDEX, NUM_COMPONENTS
+
+
+class TestActivityRecorder:
+    def test_single_event(self):
+        recorder = ActivityRecorder(clock_hz=1e9)
+        recorder.add(Component.ALU, start_cycle=2, duration=3, amount_per_cycle=1.5)
+        trace = recorder.finish(10)
+        alu = trace.component(Component.ALU)
+        assert alu[1] == 0
+        assert list(alu[2:5]) == [1.5, 1.5, 1.5]
+        assert alu[5] == 0
+
+    def test_events_accumulate(self):
+        recorder = ActivityRecorder(clock_hz=1e9)
+        recorder.add(Component.ALU, 0, 2, 1.0)
+        recorder.add(Component.ALU, 1, 2, 1.0)
+        trace = recorder.finish(4)
+        assert list(trace.component(Component.ALU)) == [1.0, 2.0, 1.0, 0.0]
+
+    def test_event_clipped_at_end(self):
+        recorder = ActivityRecorder(clock_hz=1e9)
+        recorder.add(Component.DIV, 8, 10, 1.0)
+        trace = recorder.finish(10)
+        assert trace.component(Component.DIV).sum() == pytest.approx(2.0)
+
+    def test_zero_duration_ignored(self):
+        recorder = ActivityRecorder(clock_hz=1e9)
+        recorder.add(Component.ALU, 0, 0, 1.0)
+        assert recorder.finish(4).data.sum() == 0
+
+    def test_negative_start_rejected(self):
+        recorder = ActivityRecorder(clock_hz=1e9)
+        with pytest.raises(SimulationError):
+            recorder.add(Component.ALU, -1, 1, 1.0)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(SimulationError):
+            ActivityRecorder(clock_hz=0)
+
+
+class TestActivityTrace:
+    def _trace(self, cycles=16) -> ActivityTrace:
+        data = np.zeros((NUM_COMPONENTS, cycles))
+        data[COMPONENT_INDEX[Component.ALU]] = 1.0
+        data[COMPONENT_INDEX[Component.DRAM], : cycles // 2] = 2.0
+        return ActivityTrace(data, clock_hz=2e9)
+
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError):
+            ActivityTrace(np.zeros((3, 10)), clock_hz=1e9)
+
+    def test_duration(self):
+        trace = self._trace(16)
+        assert trace.duration_s == pytest.approx(8e-9)
+
+    def test_totals(self):
+        totals = self._trace(16).totals()
+        assert totals[Component.ALU] == pytest.approx(16.0)
+        assert totals[Component.DRAM] == pytest.approx(16.0)
+        assert totals[Component.MUL] == 0.0
+
+    def test_mean_rates(self):
+        rates = self._trace(16).mean_rates()
+        assert rates[COMPONENT_INDEX[Component.ALU]] == pytest.approx(1.0)
+        assert rates[COMPONENT_INDEX[Component.DRAM]] == pytest.approx(1.0)
+
+    def test_window(self):
+        window = self._trace(16).window(0, 8)
+        assert window.num_cycles == 8
+        assert window.component(Component.DRAM).sum() == pytest.approx(16.0)
+
+    def test_window_bounds_checked(self):
+        with pytest.raises(SimulationError):
+            self._trace(16).window(8, 4)
+        with pytest.raises(SimulationError):
+            self._trace(16).window(0, 99)
+
+    def test_downsample_preserves_mean(self):
+        trace = self._trace(16)
+        coarse = trace.downsample(4)
+        assert coarse.num_cycles == 4
+        assert coarse.data.mean() == pytest.approx(trace.data.mean())
+        assert coarse.clock_hz == pytest.approx(trace.clock_hz / 4)
+
+    def test_downsample_too_short_rejected(self):
+        with pytest.raises(SimulationError):
+            self._trace(4).downsample(8)
+
+    def test_project_single_mode(self):
+        trace = self._trace(8)
+        weights = np.zeros(NUM_COMPONENTS)
+        weights[COMPONENT_INDEX[Component.ALU]] = 3.0
+        projected = trace.project(weights)
+        assert projected.shape == (1, 8)
+        assert np.allclose(projected, 3.0)
+
+    def test_project_shape_validation(self):
+        with pytest.raises(SimulationError):
+            self._trace(8).project(np.zeros((2, 3)))
+
+
+@given(
+    events=st.lists(
+        st.tuples(
+            st.sampled_from(list(Component)),
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=1, max_value=20),
+            st.floats(min_value=0.01, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_recorder_conserves_unclipped_activity(events):
+    """Property: total recorded activity equals the sum of event masses
+    (when the trace is long enough that nothing clips)."""
+    recorder = ActivityRecorder(clock_hz=1e9)
+    expected = 0.0
+    horizon = 0
+    for component, start, duration, amount in events:
+        recorder.add(component, start, duration, amount)
+        expected += duration * amount
+        horizon = max(horizon, start + duration)
+    trace = recorder.finish(horizon)
+    assert trace.data.sum() == pytest.approx(expected, rel=1e-9)
+
+
+@given(factor=st.integers(min_value=1, max_value=16))
+@settings(max_examples=20, deadline=None)
+def test_downsample_conserves_total(factor):
+    """Property: block-averaging preserves total activity (up to the
+    dropped remainder block)."""
+    rng = np.random.default_rng(7)
+    cycles = 64
+    data = rng.uniform(0, 2, size=(NUM_COMPONENTS, cycles))
+    trace = ActivityTrace(data, clock_hz=1e9)
+    coarse = trace.downsample(factor)
+    usable = (cycles // factor) * factor
+    assert coarse.data.sum() * factor == pytest.approx(data[:, :usable].sum(), rel=1e-9)

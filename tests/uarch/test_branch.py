@@ -1,0 +1,133 @@
+"""Unit tests for the branch predictor and its core integration."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.uarch.branch import BranchPredictor
+from repro.uarch.cache import CacheGeometry
+from repro.uarch.components import Component
+from repro.uarch.core import Core
+
+
+class TestBranchPredictor:
+    def test_initial_prediction_not_taken(self):
+        assert not BranchPredictor().predict(0x100)
+
+    def test_learns_taken(self):
+        predictor = BranchPredictor()
+        predictor.record(0x100, taken=True)
+        assert predictor.predict(0x100)
+
+    def test_two_bit_hysteresis(self):
+        """A saturated-taken counter survives one not-taken outcome."""
+        predictor = BranchPredictor()
+        for _ in range(4):
+            predictor.record(0x100, taken=True)
+        predictor.record(0x100, taken=False)
+        assert predictor.predict(0x100)  # still predicts taken
+        predictor.record(0x100, taken=False)
+        assert not predictor.predict(0x100)
+
+    def test_mispredict_reported(self):
+        predictor = BranchPredictor()
+        assert predictor.record(0x100, taken=True)  # init not-taken -> miss
+        predictor.record(0x100, taken=True)
+        assert not predictor.record(0x100, taken=True)
+
+    def test_independent_addresses(self):
+        predictor = BranchPredictor()
+        predictor.record(0x100, taken=True)
+        predictor.record(0x100, taken=True)
+        assert predictor.predict(0x100)
+        assert not predictor.predict(0x200)
+
+    def test_stats(self):
+        predictor = BranchPredictor()
+        predictor.record(1, True)   # miss
+        predictor.record(1, True)
+        predictor.record(1, True)
+        assert predictor.stats.predictions == 3
+        assert predictor.stats.mispredictions == 1
+        assert predictor.stats.misprediction_rate == pytest.approx(1 / 3)
+
+    def test_reset(self):
+        predictor = BranchPredictor()
+        predictor.record(1, True)
+        predictor.reset()
+        assert predictor.stats.predictions == 0
+        assert not predictor.predict(1)
+
+
+def _core() -> Core:
+    return Core(
+        clock_hz=1e9,
+        l1_geometry=CacheGeometry(1024, 2, 64),
+        l2_geometry=CacheGeometry(8192, 4, 64),
+    )
+
+
+class TestCoreIntegration:
+    def test_loop_branch_learns(self):
+        core = _core()
+        core.run(
+            assemble(
+                """
+                mov ecx, 50
+                top: dec ecx
+                jnz top
+                halt
+                """
+            )
+        )
+        # Entry and exit mispredict; the 48 middle iterations hit.
+        assert core.predictor.stats.mispredictions <= 3
+        assert core.predictor.stats.predictions == 50
+
+    def test_mispredict_costs_cycles(self):
+        source = """
+        mov eax, 1
+        test eax, 1
+        jz nowhere
+        nowhere: halt
+        """
+        core = _core()
+        result = core.run(assemble(source))
+        # jz is not taken; initial prediction is not-taken -> no miss.
+        baseline = result.cycles
+
+        taken_source = """
+        mov eax, 1
+        test eax, 2
+        jz somewhere
+        somewhere: halt
+        """
+        core2 = _core()
+        result2 = core2.run(assemble(taken_source))
+        # jz IS taken; prediction says not-taken -> mispredict penalty.
+        assert result2.cycles == baseline + core2.timings.branch_mispredict_cycles
+
+    def test_mispredict_generates_flush_activity(self):
+        core = _core()
+        result = core.run(
+            assemble("mov eax, 0\ntest eax, 1\njz off\noff: halt")
+        )
+        fetch_total = result.trace.totals()[Component.FETCH]
+        # 3 executed instructions + the flush refetch burst.
+        expected = 3 * core.activity.fetch + core.activity.flush_refetch
+        assert fetch_total == pytest.approx(expected)
+
+    def test_every_branch_touches_predictor_component(self):
+        core = _core()
+        result = core.run(assemble("jmp end\nend: halt"))
+        assert result.trace.totals()[Component.BPRED] > 0
+
+    def test_unconditional_jmp_never_mispredicts(self):
+        core = _core()
+        core.run(assemble("jmp end\nend: halt"))
+        assert core.predictor.stats.predictions == 0
+
+    def test_reset_clears_predictor(self):
+        core = _core()
+        core.run(assemble("mov ecx, 4\ntop: dec ecx\njnz top\nhalt"))
+        core.reset()
+        assert core.predictor.stats.predictions == 0

@@ -1,0 +1,195 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.uarch.cache import Cache, CacheGeometry
+
+
+class TestCacheGeometry:
+    def test_num_sets(self):
+        geometry = CacheGeometry(size_bytes=32 * 1024, ways=8, line_bytes=64)
+        assert geometry.num_sets == 64
+
+    def test_fully_associative(self):
+        geometry = CacheGeometry(size_bytes=512, ways=8, line_bytes=64)
+        assert geometry.num_sets == 1
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=3000, ways=4, line_bytes=64)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=4096, ways=3, line_bytes=64)
+
+    def test_too_small_for_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=64, ways=2, line_bytes=64)
+
+    def test_set_index_wraps(self):
+        geometry = CacheGeometry(size_bytes=1024, ways=2, line_bytes=64)
+        assert geometry.set_index(0) == geometry.set_index(geometry.num_sets * 64)
+
+    def test_line_address(self):
+        geometry = CacheGeometry(size_bytes=1024, ways=2, line_bytes=64)
+        assert geometry.line_address(130) == 128
+
+
+def _tiny_cache(ways=2, sets=4) -> Cache:
+    return Cache(CacheGeometry(size_bytes=ways * sets * 64, ways=ways, line_bytes=64))
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = _tiny_cache()
+        assert not cache.access(0, False).hit
+        assert cache.access(0, False).hit
+
+    def test_same_line_different_bytes_hit(self):
+        cache = _tiny_cache()
+        cache.access(0, False)
+        assert cache.access(63, False).hit
+
+    def test_lru_eviction_order(self):
+        cache = _tiny_cache(ways=2, sets=1)
+        cache.access(0x000, False)
+        cache.access(0x040, False)
+        cache.access(0x000, False)  # refresh line 0
+        result = cache.access(0x080, False)  # evicts LRU = 0x040
+        assert result.evicted_line == 0x040
+
+    def test_write_marks_dirty(self):
+        cache = _tiny_cache()
+        cache.access(0, True)
+        assert cache.dirty_lines() == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = _tiny_cache()
+        cache.access(0, False)
+        assert cache.dirty_lines() == 0
+        cache.access(0, True)
+        assert cache.dirty_lines() == 1
+
+    def test_dirty_eviction_reported(self):
+        cache = _tiny_cache(ways=1, sets=1)
+        cache.access(0x000, True)
+        result = cache.access(0x040, False)
+        assert result.evicted_dirty
+        assert result.evicted_line == 0x000
+
+    def test_clean_eviction_not_dirty(self):
+        cache = _tiny_cache(ways=1, sets=1)
+        cache.access(0x000, False)
+        assert not cache.access(0x040, False).evicted_dirty
+
+    def test_evicted_line_address_reconstruction(self):
+        cache = _tiny_cache(ways=1, sets=4)
+        address = 0x1040  # set 1 under 4 sets of 64B lines
+        cache.access(address, False)
+        result = cache.access(address + 4 * 64, False)  # same set, new tag
+        assert result.evicted_line == (address // 64) * 64
+
+    def test_stats(self):
+        cache = _tiny_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        cache.access(0x40, True)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.fills == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_lookup_does_not_modify(self):
+        cache = _tiny_cache()
+        assert not cache.lookup(0)
+        assert cache.stats.accesses == 0
+        cache.access(0, False)
+        assert cache.lookup(0)
+
+    def test_invalidate_all(self):
+        cache = _tiny_cache()
+        cache.access(0, True)
+        cache.invalidate_all()
+        assert cache.resident_lines() == 0
+        assert not cache.access(0, False).hit
+
+    def test_capacity_never_exceeded(self):
+        cache = _tiny_cache(ways=2, sets=4)
+        for i in range(64):
+            cache.access(i * 64, False)
+        assert cache.resident_lines() <= 8
+
+    def test_sweep_within_capacity_all_hits_after_warm(self):
+        cache = _tiny_cache(ways=2, sets=4)  # 8 lines
+        addresses = [i * 64 for i in range(8)]
+        for address in addresses:
+            cache.access(address, False)
+        assert all(cache.access(address, False).hit for address in addresses)
+
+    def test_cyclic_sweep_beyond_capacity_always_misses(self):
+        cache = _tiny_cache(ways=2, sets=4)  # 8 lines capacity
+        addresses = [i * 64 for i in range(16)]  # 2x capacity
+        for _sweep in range(3):
+            results = [cache.access(address, False) for address in addresses]
+        assert not any(result.hit for result in results)
+
+
+class _ReferenceCache:
+    """Oracle: per-set ordered dict of tags, most recent last."""
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self.sets = [dict() for _ in range(geometry.num_sets)]
+
+    def access(self, address: int, is_write: bool) -> bool:
+        index = self.geometry.set_index(address)
+        tag = self.geometry.tag(address)
+        cache_set = self.sets[index]
+        hit = tag in cache_set
+        if hit:
+            dirty = cache_set.pop(tag) or is_write
+            cache_set[tag] = dirty
+        else:
+            if len(cache_set) >= self.geometry.ways:
+                victim = next(iter(cache_set))
+                del cache_set[victim]
+            cache_set[tag] = is_write
+        return hit
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4095), st.booleans()),
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_matches_reference_model(accesses):
+    """Property: hit/miss decisions agree with an independent LRU oracle."""
+    geometry = CacheGeometry(size_bytes=512, ways=2, line_bytes=64)
+    cache = Cache(geometry)
+    oracle = _ReferenceCache(geometry)
+    for address, is_write in accesses:
+        assert cache.access(address, is_write).hit == oracle.access(address, is_write)
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=8191), st.booleans()),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_cache_invariants(accesses):
+    """Property: stats add up and capacity bounds hold after any trace."""
+    cache = Cache(CacheGeometry(size_bytes=1024, ways=4, line_bytes=64))
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(accesses)
+    assert stats.dirty_evictions <= stats.evictions <= stats.misses
+    assert cache.resident_lines() <= 16
+    assert cache.dirty_lines() <= cache.resident_lines()

@@ -1,0 +1,245 @@
+"""Unit tests for the in-order core: semantics, timing, activity."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.uarch.components import Component
+from repro.uarch.core import Core
+from repro.uarch.cache import CacheGeometry
+from repro.uarch.functional_units import FunctionalUnitTimings
+
+
+def _core(**kwargs) -> Core:
+    defaults = dict(
+        clock_hz=1e9,
+        l1_geometry=CacheGeometry(1024, 2, 64),
+        l2_geometry=CacheGeometry(8192, 4, 64),
+    )
+    defaults.update(kwargs)
+    return Core(**defaults)
+
+
+def _run(core: Core, source: str):
+    return core.run(assemble(source))
+
+
+class TestArithmeticSemantics:
+    def test_mov_imm(self):
+        core = _core()
+        _run(core, "mov eax, 42\nhalt")
+        assert core.registers["eax"] == 42
+
+    def test_mov_reg(self):
+        core = _core()
+        _run(core, "mov eax, 7\nmov ebx, eax\nhalt")
+        assert core.registers["ebx"] == 7
+
+    def test_add_sub(self):
+        core = _core()
+        _run(core, "mov eax, 10\nadd eax, 5\nsub eax, 3\nhalt")
+        assert core.registers["eax"] == 12
+
+    def test_add_wraps_32_bits(self):
+        core = _core()
+        _run(core, "mov eax, 0xFFFFFFFF\nadd eax, 2\nhalt")
+        assert core.registers["eax"] == 1
+
+    def test_logic_ops(self):
+        core = _core()
+        _run(core, "mov eax, 0xF0\nand eax, 0x3C\nor eax, 1\nxor eax, 0xFF\nhalt")
+        assert core.registers["eax"] == (((0xF0 & 0x3C) | 1) ^ 0xFF)
+
+    def test_shifts(self):
+        core = _core()
+        _run(core, "mov eax, 1\nshl eax, 4\nshr eax, 1\nhalt")
+        assert core.registers["eax"] == 8
+
+    def test_inc_dec(self):
+        core = _core()
+        _run(core, "mov ecx, 5\ninc ecx\ndec ecx\ndec ecx\nhalt")
+        assert core.registers["ecx"] == 4
+
+    def test_imul(self):
+        core = _core()
+        _run(core, "mov eax, 6\nimul eax, 7\nhalt")
+        assert core.registers["eax"] == 42
+
+    def test_idiv_quotient_and_remainder(self):
+        core = _core()
+        _run(core, "mov eax, 17\nmov ebx, 5\nidiv ebx\nhalt")
+        assert core.registers["eax"] == 3
+        assert core.registers["edx"] == 2
+
+    def test_idiv_by_zero_is_defined(self):
+        core = _core()
+        _run(core, "mov eax, 17\nmov ebx, 0\nidiv ebx\nhalt")
+        assert core.registers["eax"] == 17
+
+    def test_lea_computes_address_without_memory_access(self):
+        core = _core()
+        _run(core, "mov esi, 0x100\nlea ebx, [esi+64]\nhalt")
+        assert core.registers["ebx"] == 0x140
+        assert core.hierarchy.l1.stats.accesses == 0
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        core = _core()
+        result = _run(
+            core,
+            """
+            mov ecx, 4
+            mov eax, 0
+            top: add eax, 2
+            dec ecx
+            jnz top
+            halt
+            """,
+        )
+        assert core.registers["eax"] == 8
+
+    def test_jmp(self):
+        core = _core()
+        _run(core, "mov eax, 1\njmp end\nadd eax, 100\nend: halt")
+        assert core.registers["eax"] == 1
+
+    def test_jz_taken_on_zero(self):
+        core = _core()
+        _run(core, "mov eax, 1\nsub eax, 1\njz skip\nadd eax, 50\nskip: halt")
+        assert core.registers["eax"] == 0
+
+    def test_cmp_sets_zero_flag(self):
+        core = _core()
+        _run(core, "mov eax, 3\ncmp eax, 3\njz equal\nmov ebx, 1\nequal: halt")
+        assert core.registers["ebx"] == 0
+
+    def test_test_sets_zero_flag(self):
+        core = _core()
+        _run(core, "mov eax, 0xF0\ntest eax, 0x0F\njz disjoint\nmov ebx, 9\ndisjoint: halt")
+        assert core.registers["ebx"] == 0
+
+    def test_falling_off_end_stops(self):
+        core = _core()
+        result = _run(core, "mov eax, 5")
+        assert result.stats.instructions == 1
+
+    def test_runaway_loop_raises(self):
+        core = _core()
+        with pytest.raises(SimulationError, match="exceeded"):
+            core.run(assemble("top: jmp top"), max_instructions=100)
+
+
+class TestMemorySemantics:
+    def test_store_then_load(self):
+        core = _core()
+        _run(core, "mov esi, 0x1000\nmov [esi], 99\nmov eax, [esi]\nhalt")
+        assert core.registers["eax"] == 99
+
+    def test_uninitialized_load_returns_zero(self):
+        core = _core()
+        _run(core, "mov esi, 0x2000\nmov eax, [esi]\nhalt")
+        assert core.registers["eax"] == 0
+
+    def test_indexed_addressing(self):
+        core = _core()
+        _run(
+            core,
+            "mov esi, 0x1000\nmov eax, 2\nmov [esi+eax*4+8], 7\n"
+            "mov ebx, [esi+16]\nhalt",
+        )
+        assert core.registers["ebx"] == 7
+
+    def test_memory_level_counting(self):
+        core = _core()
+        result = _run(core, "mov esi, 0x1000\nmov eax, [esi]\nmov eax, [esi]\nhalt")
+        assert result.stats.level_counts == {"MEM": 1, "L1": 1}
+
+
+class TestTimingAndActivity:
+    def test_alu_costs_one_cycle(self):
+        core = _core()
+        baseline = _run(core, "halt").cycles
+        core.reset()
+        result = _run(core, "add eax, 1\nhalt")
+        assert result.cycles == baseline + 1
+
+    def test_div_costs_configured_latency(self):
+        core = _core(timings=FunctionalUnitTimings(div_cycles=30))
+        result = _run(core, "mov eax, 9\nidiv eax\nhalt")
+        mov_cost = core.timings.mov_cycles
+        assert result.cycles == mov_cost + 30
+
+    def test_mul_activity_lands_on_mul_unit(self):
+        core = _core()
+        result = _run(core, "imul eax, 3\nhalt")
+        assert result.trace.totals()[Component.MUL] > 0
+        assert result.trace.totals()[Component.DIV] == 0
+
+    def test_div_busy_for_its_latency(self):
+        core = _core()
+        result = _run(core, "mov eax, 9\nidiv eax\nhalt")
+        busy_cycles = (result.trace.component(Component.DIV) > 0).sum()
+        assert busy_cycles == core.timings.div_cycles
+
+    def test_every_instruction_fetches(self):
+        core = _core()
+        result = _run(core, "nop\nnop\nadd eax, 1\nhalt")
+        assert result.trace.totals()[Component.FETCH] == pytest.approx(
+            3 * core.activity.fetch
+        )
+
+    def test_offchip_load_touches_bus_and_dram(self):
+        core = _core()
+        result = _run(core, "mov esi, 0x4000\nmov eax, [esi]\nhalt")
+        totals = result.trace.totals()
+        assert totals[Component.MEM_BUS] > 0
+        assert totals[Component.DRAM] > 0
+        assert totals[Component.L2] > 0
+
+    def test_l1_hit_does_not_touch_l2(self):
+        core = _core()
+        _run(core, "mov esi, 0x4000\nmov eax, [esi]\nhalt")
+        core.hierarchy.l1.stats.__init__()
+        result = core.run(
+            assemble("mov eax, [esi]\nhalt"), warm_hierarchy=True
+        )
+        # Only the residual L2 activity from the first (cold) load exists
+        # in the first trace; this second trace must have none.
+        assert result.trace.totals()[Component.L2] == 0
+
+    def test_store_touches_wb_buffer(self):
+        core = _core()
+        result = _run(core, "mov esi, 0x1000\nmov [esi], 5\nhalt")
+        assert result.trace.totals()[Component.WB_BUFFER] > 0
+
+    def test_trace_length_equals_cycles(self):
+        core = _core()
+        result = _run(core, "add eax, 1\nimul eax, 2\nhalt")
+        assert result.trace.num_cycles == result.cycles
+
+
+class TestStateManagement:
+    def test_reset_clears_registers_and_memory(self):
+        core = _core()
+        _run(core, "mov esi, 0x1000\nmov [esi], 1\nmov eax, 3\nhalt")
+        core.reset()
+        assert core.registers["eax"] == 0
+        assert core.memory == {}
+
+    def test_warm_hierarchy_preserves_cache(self):
+        core = _core()
+        _run(core, "mov esi, 0x1000\nmov eax, [esi]\nhalt")
+        result = core.run(assemble("mov eax, [esi]\nhalt"), warm_hierarchy=True)
+        assert result.stats.level_counts == {"L1": 1}
+
+    def test_cold_run_resets_cache(self):
+        core = _core()
+        _run(core, "mov esi, 0x1000\nmov eax, [esi]\nhalt")
+        result = core.run(assemble("mov esi, 0x1000\nmov eax, [esi]\nhalt"))
+        assert result.stats.level_counts == {"MEM": 1}
+
+    def test_registers_snapshot_returned(self):
+        core = _core()
+        result = _run(core, "mov eax, 11\nhalt")
+        assert result.registers["eax"] == 11

@@ -1,0 +1,123 @@
+"""Unit tests for the two-level memory hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.cache import CacheGeometry
+from repro.uarch.hierarchy import MemoryHierarchy, MemoryLatencies
+
+
+def _hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(
+        l1_geometry=CacheGeometry(size_bytes=512, ways=2, line_bytes=64),   # 8 lines
+        l2_geometry=CacheGeometry(size_bytes=4096, ways=4, line_bytes=64),  # 64 lines
+        latencies=MemoryLatencies(l1_cycles=3, l2_cycles=10, memory_cycles=100),
+    )
+
+
+class TestConfiguration:
+    def test_l2_smaller_than_l1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(
+                l1_geometry=CacheGeometry(4096, 4, 64),
+                l2_geometry=CacheGeometry(512, 2, 64),
+            )
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(
+                l1_geometry=CacheGeometry(512, 2, 32),
+                l2_geometry=CacheGeometry(4096, 4, 64),
+            )
+
+    def test_latency_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLatencies(l1_cycles=10, l2_cycles=5, memory_cycles=100)
+
+
+class TestAccessLevels:
+    def test_cold_access_goes_to_memory(self):
+        hierarchy = _hierarchy()
+        report = hierarchy.access(0, False)
+        assert report.level == "MEM"
+        assert report.latency_cycles == 100
+        assert report.offchip_transfers == 1
+
+    def test_warm_access_hits_l1(self):
+        hierarchy = _hierarchy()
+        hierarchy.access(0, False)
+        report = hierarchy.access(0, False)
+        assert report.level == "L1"
+        assert report.latency_cycles == 3
+        assert report.offchip_transfers == 0
+
+    def test_l1_evicted_but_l2_resident_hits_l2(self):
+        hierarchy = _hierarchy()
+        # Fill far beyond L1 (8 lines) but within L2 (64 lines); use a
+        # stride that cycles one L1 set.
+        addresses = [i * 512 for i in range(8)]  # same L1 set (8 sets), same-ish
+        for address in addresses:
+            hierarchy.access(address, False)
+        report = hierarchy.access(addresses[0], False)
+        assert report.level == "L2"
+        assert report.latency_cycles == 10
+
+    def test_clean_l1_eviction_causes_no_writeback(self):
+        hierarchy = _hierarchy()
+        addresses = [i * 512 for i in range(4)]
+        for address in addresses:
+            hierarchy.access(address, False)
+        report = hierarchy.access(4 * 512, False)
+        assert not report.l1_writeback
+
+    def test_dirty_l1_eviction_writes_back_to_l2(self):
+        hierarchy = _hierarchy()
+        # L1 is 2-way with 4 sets: three writes to one set evict a dirty line.
+        addresses = [i * 256 for i in range(3)]  # 256 % (4 sets * 64) maps set 0
+        hierarchy.access(addresses[0], True)
+        hierarchy.access(addresses[1], True)
+        report = hierarchy.access(addresses[2], True)
+        assert report.l1_writeback
+        assert report.l2_accesses == 2  # write-back + demand fill
+
+    def test_store_hitting_l2_generates_two_l2_accesses(self):
+        """The paper's STL2 effect: dirty L1 victim + demand fill."""
+        hierarchy = _hierarchy()
+        # Warm a working set larger than L1, within L2, all stores.
+        addresses = [i * 64 for i in range(32)]  # 2 KiB, 4x L1
+        for _sweep in range(2):
+            for address in addresses:
+                hierarchy.access(address, True)
+        report = hierarchy.access(addresses[0], True)
+        assert report.level == "L2"
+        assert report.l1_writeback
+        assert report.l2_accesses == 2
+
+    def test_dirty_l2_eviction_goes_offchip(self):
+        hierarchy = _hierarchy()
+        stride = 4096  # one L2 set (16 sets * 64B = 1024... use big stride)
+        # 4-way L2 with 16 sets: five dirty lines in one set force a
+        # dirty eviction off-chip.
+        addresses = [i * (16 * 64) for i in range(5)]
+        for address in addresses:
+            hierarchy.access(address, True)
+        report = hierarchy.access(5 * (16 * 64), True)
+        assert report.offchip_transfers >= 1
+        assert hierarchy.offchip_accesses > 0
+
+    def test_warm_helper(self):
+        hierarchy = _hierarchy()
+        hierarchy.warm([0, 64, 128], is_write=False)
+        assert hierarchy.access(0, False).level == "L1"
+
+    def test_reset_clears_everything(self):
+        hierarchy = _hierarchy()
+        hierarchy.access(0, True)
+        hierarchy.reset()
+        assert hierarchy.l1.resident_lines() == 0
+        assert hierarchy.l2.resident_lines() == 0
+        assert hierarchy.offchip_accesses == 0
+        assert hierarchy.l1.stats.accesses == 0
+
+    def test_line_bytes_property(self):
+        assert _hierarchy().line_bytes == 64

@@ -1,0 +1,88 @@
+"""Property tests for multi-level hierarchy invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.cache import CacheGeometry
+from repro.uarch.hierarchy import MemoryHierarchy, MemoryLatencies
+
+
+def _hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(
+        l1_geometry=CacheGeometry(512, 2, 64),
+        l2_geometry=CacheGeometry(4096, 4, 64),
+        latencies=MemoryLatencies(l1_cycles=2, l2_cycles=8, memory_cycles=60),
+    )
+
+
+_accesses = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=16383), st.booleans()),
+    min_size=1,
+    max_size=400,
+)
+
+
+@given(accesses=_accesses)
+@settings(max_examples=40, deadline=None)
+def test_immediate_reaccess_always_hits_l1(accesses):
+    """Property: any address hits L1 right after being accessed."""
+    hierarchy = _hierarchy()
+    for address, is_write in accesses:
+        hierarchy.access(address, is_write)
+        assert hierarchy.access(address, False).level == "L1"
+
+
+@given(accesses=_accesses)
+@settings(max_examples=40, deadline=None)
+def test_latency_matches_reported_level(accesses):
+    """Property: the reported latency always corresponds to the level."""
+    hierarchy = _hierarchy()
+    expected = {"L1": 2, "L2": 8, "MEM": 60}
+    for address, is_write in accesses:
+        report = hierarchy.access(address, is_write)
+        assert report.latency_cycles == expected[report.level]
+
+
+@given(accesses=_accesses)
+@settings(max_examples=40, deadline=None)
+def test_offchip_counter_matches_transfers(accesses):
+    """Property: the hierarchy's off-chip counter equals the sum of
+    per-access transfer reports."""
+    hierarchy = _hierarchy()
+    total = 0
+    for address, is_write in accesses:
+        total += hierarchy.access(address, is_write).offchip_transfers
+    assert hierarchy.offchip_accesses == total
+
+
+@given(accesses=_accesses)
+@settings(max_examples=40, deadline=None)
+def test_read_only_traffic_never_writes_back(accesses):
+    """Property: without stores there are no dirty write-backs anywhere."""
+    hierarchy = _hierarchy()
+    for address, _is_write in accesses:
+        report = hierarchy.access(address, False)
+        assert not report.l1_writeback
+        assert not report.l2_writeback
+
+
+@given(
+    accesses=_accesses,
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_reset_restores_cold_behaviour(accesses, seed):
+    """Property: after reset, the hierarchy behaves exactly like new."""
+    rng = np.random.default_rng(seed)
+    probe = [(int(rng.integers(0, 16384)), bool(rng.integers(2))) for _ in range(20)]
+
+    fresh = _hierarchy()
+    fresh_levels = [fresh.access(a, w).level for a, w in probe]
+
+    used = _hierarchy()
+    for address, is_write in accesses:
+        used.access(address, is_write)
+    used.reset()
+    reset_levels = [used.access(a, w).level for a, w in probe]
+
+    assert fresh_levels == reset_levels
