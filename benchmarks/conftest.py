@@ -6,10 +6,18 @@ spectrum) to ``benchmarks/output/`` so the regenerated figures survive
 pytest's output capture.  Campaigns are memoized per (machine,
 distance) so that e.g. Figures 9, 10, and 11 — three views of one
 measurement campaign — share a single run, exactly as in the paper.
+
+Campaigns route through the parallel executor with an on-disk result
+cache under ``benchmarks/output/campaign_cache``, so re-running the
+harness skips simulation for every matrix it has already measured.
+Environment knobs: ``SAVAT_BENCH_WORKERS`` (worker processes; default
+``min(4, cpu_count)``) and ``SAVAT_BENCH_CACHE`` (cache directory, or
+``off`` to disable).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -25,6 +33,22 @@ BENCHMARK_REPETITIONS = 2
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
+#: Worker processes for campaign fan-out (results are identical for
+#: any worker count, so this only affects wall-clock time).
+BENCHMARK_WORKERS = int(
+    os.environ.get("SAVAT_BENCH_WORKERS") or min(4, os.cpu_count() or 1)
+)
+
+_cache_setting = os.environ.get(
+    "SAVAT_BENCH_CACHE", str(OUTPUT_DIR / "campaign_cache")
+)
+#: On-disk campaign cache directory (None disables caching).
+CACHE_DIR = (
+    None
+    if _cache_setting.strip().lower() in {"", "0", "off", "none"}
+    else pathlib.Path(_cache_setting)
+)
+
 _CAMPAIGNS: dict[tuple[str, float], SavatMatrix] = {}
 
 
@@ -34,7 +58,11 @@ def get_campaign(machine_name: str, distance_m: float) -> SavatMatrix:
     if key not in _CAMPAIGNS:
         machine = load_calibrated_machine(machine_name, distance_m)
         _CAMPAIGNS[key] = run_campaign(
-            machine, repetitions=BENCHMARK_REPETITIONS, seed=2014
+            machine,
+            repetitions=BENCHMARK_REPETITIONS,
+            seed=2014,
+            workers=BENCHMARK_WORKERS,
+            cache_dir=CACHE_DIR,
         )
     return _CAMPAIGNS[key]
 

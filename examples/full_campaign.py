@@ -8,7 +8,9 @@ selected-pairings bar chart (Figure 11), and the paper-vs-measured shape
 statistics.
 
 Run:  python examples/full_campaign.py [--repetitions N] [--machine NAME]
-Takes a few minutes for the full matrix.
+                                       [--workers N] [--cache-dir DIR]
+Takes a few minutes for the full matrix; ``--workers`` fans the cells
+out across processes and ``--cache-dir`` makes reruns near-instant.
 """
 
 import argparse
@@ -29,6 +31,12 @@ def main() -> None:
     parser.add_argument("--machine", default="core2duo", help="catalog machine name")
     parser.add_argument("--repetitions", type=int, default=3, help="repetitions per cell")
     parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--workers", type=int, default=0, help="worker processes (0: serial)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="on-disk result cache directory"
+    )
     args = parser.parse_args()
 
     machine = load_calibrated_machine(args.machine, distance_m=0.10)
@@ -38,9 +46,19 @@ def main() -> None:
         print(f"\r  [{done:3d}/{total}] {event_a}/{event_b}        ", end="", flush=True)
 
     campaign = run_campaign(
-        machine, repetitions=args.repetitions, seed=args.seed, progress=progress
+        machine,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        progress=progress,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
-    print("\n")
+    execution = campaign.metadata["execution"]
+    print(
+        f"\n  {execution['cells_simulated']} cell(s) simulated, "
+        f"{execution['cache_hits']} from cache, "
+        f"{execution['wall_seconds']:.1f} s wall\n"
+    )
 
     reference = get_reference(args.machine, 0.10)
     print(experiment_report(campaign, reference))

@@ -13,9 +13,40 @@ Subcommands cover the workflows a downstream user runs most:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.errors import ReproError
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for the campaign fan-out (0 or 1: serial; "
+        "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("SAVAT_CACHE_DIR"),
+        metavar="DIR",
+        help="on-disk campaign result cache (default: $SAVAT_CACHE_DIR, "
+        "no caching if unset)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if --cache-dir or "
+        "$SAVAT_CACHE_DIR is set",
+    )
+
+
+def _campaign_execution_kwargs(args: argparse.Namespace) -> dict:
+    """Executor keyword arguments shared by campaign-running commands."""
+    cache_dir = None if args.no_cache else args.cache_dir
+    return {"workers": args.workers, "cache_dir": cache_dir}
 
 
 def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -58,7 +89,11 @@ def _command_campaign(args: argparse.Namespace) -> int:
     machine = load_calibrated_machine(args.machine, args.distance)
     events = args.events.split(",") if args.events else None
     campaign = run_campaign(
-        machine, events=events, repetitions=args.repetitions, seed=args.seed
+        machine,
+        events=events,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        **_campaign_execution_kwargs(args),
     )
     if args.format == "csv":
         print(campaign.to_csv())
@@ -74,6 +109,14 @@ def _command_campaign(args: argparse.Namespace) -> int:
         )
         print(f"\nstd/mean over {campaign.repetitions} repetitions: "
               f"{campaign.std_over_mean():.3f}")
+        execution = campaign.metadata["execution"]
+        print(
+            f"executed with {execution['workers']} worker(s) in "
+            f"{execution['wall_seconds']:.1f} s; cache: "
+            f"{execution['cache_hits']} hit(s), "
+            f"{execution['cache_misses']} miss(es), "
+            f"{execution['cells_simulated']} cell(s) simulated"
+        )
     return 0
 
 
@@ -83,7 +126,12 @@ def _command_groups(args: argparse.Namespace) -> int:
     from repro.machines.calibrated import load_calibrated_machine
 
     machine = load_calibrated_machine(args.machine, args.distance)
-    campaign = run_campaign(machine, repetitions=args.repetitions, seed=args.seed)
+    campaign = run_campaign(
+        machine,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        **_campaign_execution_kwargs(args),
+    )
     groups = find_groups(campaign, num_groups=args.num_groups)
     print(f"SAVAT clusters on {machine.describe()}:")
     for group in groups:
@@ -181,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--repetitions", type=int, default=3)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--format", choices=("table", "csv", "json"), default="table")
+    _add_execution_arguments(campaign)
     campaign.set_defaults(handler=_command_campaign)
 
     groups = subparsers.add_parser("groups", help="cluster events by SAVAT")
@@ -188,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     groups.add_argument("--num-groups", type=int, default=4)
     groups.add_argument("--repetitions", type=int, default=2)
     groups.add_argument("--seed", type=int, default=0)
+    _add_execution_arguments(groups)
     groups.set_defaults(handler=_command_groups)
 
     audit = subparsers.add_parser("audit", help="static leak audit of an .s file")

@@ -1,6 +1,13 @@
 """The SAVAT metric: pairwise measurement, campaigns, analysis."""
 
 from repro.core.campaign import PAPER_REPETITIONS, run_campaign, selected_pairings_means
+from repro.core.executor import (
+    CampaignStats,
+    ResultCache,
+    campaign_cache_key,
+    execute_campaign,
+    spawn_cell_seeds,
+)
 from repro.core.clustering import (
     cluster_linkage,
     find_groups,
@@ -45,8 +52,13 @@ from repro.core.single_instruction import (
 
 __all__ = [
     "INSTRUCTION_EVENT_GROUPS",
+    "CampaignStats",
     "FrequencyRecommendation",
     "MeasurementConfig",
+    "ResultCache",
+    "campaign_cache_key",
+    "execute_campaign",
+    "spawn_cell_seeds",
     "MicroarchSavatResult",
     "measure_microarch_savat",
     "NaiveComparison",

@@ -9,28 +9,26 @@ temperature, errors in positioning the antenna, etc." — the variation
 between repetitions comes from the environment and the alternation
 loop, not the code under test, so the deterministic kernel simulation is
 shared across repetitions and only the noise is re-drawn.
+
+Cell execution is delegated to :mod:`repro.core.executor`, which fans
+the independent cells out across worker processes and caches finished
+cells on disk, while a per-cell seed schedule keeps parallel, serial,
+and cached runs bit-identical.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+import os
+from collections.abc import Sequence
 
-import numpy as np
-
+from repro.core.executor import ProgressCallback, ResultCache, execute_campaign
 from repro.core.matrix import SavatMatrix
-from repro.core.savat import (
-    MeasurementConfig,
-    _plan_pair,
-    measure_savat,
-    simulate_alternation_period,
-)
+from repro.core.savat import MeasurementConfig
 from repro.isa.events import EVENT_ORDER, InstructionEvent, get_event
 from repro.machines.calibrated import CalibratedMachine
 
 #: Repetitions used in the paper's campaigns.
 PAPER_REPETITIONS = 10
-
-ProgressCallback = Callable[[str, str, int, int], None]
 
 
 def run_campaign(
@@ -40,8 +38,16 @@ def run_campaign(
     repetitions: int = PAPER_REPETITIONS,
     seed: int = 0,
     progress: ProgressCallback | None = None,
+    workers: int = 0,
+    cache_dir: str | os.PathLike | None = None,
+    cache: ResultCache | None = None,
 ) -> SavatMatrix:
     """Measure the full pairwise SAVAT matrix.
+
+    Execution routes through :mod:`repro.core.executor`: cells carry a
+    deterministic per-cell seed schedule, so serial and parallel runs
+    of the same campaign produce bit-identical samples, and an optional
+    on-disk cache lets repeated campaigns skip simulation entirely.
 
     Parameters
     ----------
@@ -54,15 +60,27 @@ def run_campaign(
     repetitions:
         Measurements per cell (paper: 10).
     seed:
-        Seed for the campaign's noise randomness.
+        Seed for the campaign's noise randomness, expanded into the
+        per-cell schedule by
+        :func:`repro.core.executor.spawn_cell_seeds`.
     progress:
         Optional callback ``(event_a, event_b, done, total)`` invoked
         after each cell completes.
+    workers:
+        Worker processes to fan cells out across (``0`` or ``1``:
+        serial, same results bit for bit).
+    cache_dir:
+        Directory for the on-disk result cache (``None``: no caching).
+    cache:
+        A pre-built :class:`~repro.core.executor.ResultCache`;
+        takes precedence over ``cache_dir``.
 
     Returns
     -------
     SavatMatrix
-        All repetitions of all ordered pairings, in zJ.
+        All repetitions of all ordered pairings, in zJ.  The matrix
+        metadata carries an ``"execution"`` entry with cache hit/miss
+        counters, worker count, and per-cell timings.
     """
     config = config or MeasurementConfig()
     if events is None:
@@ -70,30 +88,19 @@ def run_campaign(
     else:
         resolved = [get_event(e) if isinstance(e, str) else e for e in events]
     names = tuple(event.name for event in resolved)
-    count = len(resolved)
-    rng = np.random.default_rng(seed)
-    samples = np.zeros((count, count, repetitions))
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
 
-    total = count * count
-    done = 0
-    for i, event_a in enumerate(resolved):
-        for j, event_b in enumerate(resolved):
-            plan = _plan_pair(machine, event_a, event_b, config.alternation_frequency_hz)
-            trace, plan = simulate_alternation_period(machine, plan)
-            for repetition in range(repetitions):
-                result = measure_savat(
-                    machine,
-                    event_a,
-                    event_b,
-                    config=config,
-                    rng=rng,
-                    trace=trace,
-                    plan=plan,
-                )
-                samples[i, j, repetition] = result.savat_zj
-            done += 1
-            if progress is not None:
-                progress(event_a.name, event_b.name, done, total)
+    samples, stats = execute_campaign(
+        machine,
+        resolved,
+        config=config,
+        repetitions=repetitions,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
 
     return SavatMatrix(
         events=names,
@@ -106,6 +113,7 @@ def run_campaign(
             "method": config.method,
             "repetitions": repetitions,
             "seed": seed,
+            "execution": stats.as_metadata(),
         },
     )
 

@@ -1,0 +1,453 @@
+"""Campaign execution engine: parallel fan-out, deterministic seeds, caching.
+
+The paper's case study is a large measurement fan-out — 11x11 ordered
+pairs x 10 repetitions x 3 machines x 3 distances — and every cell is
+independent of every other, so the engine here fans the cells of one
+campaign out across worker processes (chunked by matrix row) while
+keeping the results **bit-identical** to a serial run.
+
+Determinism comes from a per-cell seed schedule: the campaign seed
+expands through ``np.random.SeedSequence(seed).spawn(count * count)``
+and cell ``(i, j)`` always draws its noise from child ``i * count + j``,
+no matter which worker simulates it or in what order.  Serial and
+parallel execution therefore consume exactly the same random streams.
+
+The engine also maintains an on-disk result cache.  Each cell's
+repetition samples are stored as an ``.npz`` file under a directory
+named by a content hash of everything that determines the cell's value
+(machine name and distance, the full :class:`~repro.core.savat.MeasurementConfig`,
+the ordered event list, the repetition count, the campaign seed, and
+the cell index).  Re-running a campaign the benchmarks have already
+measured loads every cell from disk and performs zero simulations;
+hit/miss counters and per-cell timings are reported through
+:class:`CampaignStats` and the returned matrix metadata.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.savat import (
+    MeasurementConfig,
+    _plan_pair,
+    measure_savat,
+    simulate_alternation_period,
+)
+from repro.errors import ConfigurationError
+from repro.isa.events import InstructionEvent
+from repro.machines.calibrated import CalibratedMachine
+
+#: Bump whenever the cache layout or the seeding discipline changes;
+#: old entries then miss instead of replaying stale numbers.
+CACHE_SCHEMA_VERSION = 1
+
+ProgressCallback = Callable[[str, str, int, int], None]
+
+
+# ----------------------------------------------------------------------
+# Deterministic seed schedule
+# ----------------------------------------------------------------------
+def spawn_cell_seeds(seed: int, count: int) -> list[np.random.SeedSequence]:
+    """Per-cell seed schedule for a ``count x count`` campaign.
+
+    Cell ``(i, j)`` owns entry ``i * count + j``.  The schedule is a
+    pure function of ``(seed, count)``, so serial and parallel runs —
+    and reruns on other machines — draw identical noise streams per
+    cell regardless of execution order.
+    """
+    return np.random.SeedSequence(seed).spawn(count * count)
+
+
+def cell_seed(seed: int, count: int, i: int, j: int) -> np.random.SeedSequence:
+    """The seed-schedule entry owned by cell ``(i, j)``."""
+    if not (0 <= i < count and 0 <= j < count):
+        raise ConfigurationError(
+            f"cell ({i}, {j}) outside a {count}x{count} campaign"
+        )
+    return spawn_cell_seeds(seed, count)[i * count + j]
+
+
+# ----------------------------------------------------------------------
+# Execution statistics
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignStats:
+    """Counters and timings from one campaign execution.
+
+    Attributes
+    ----------
+    cache_hits / cache_misses:
+        Cells loaded from the on-disk cache vs cells that had to be
+        simulated because the cache was cold or disabled-but-counted.
+        Both stay zero when no cache is configured.
+    cells_simulated:
+        Cells that actually ran the kernel simulation (always equals
+        ``cache_misses`` when a cache is in use).
+    workers:
+        Worker processes the fan-out used (1 means serial).
+    wall_seconds:
+        Wall-clock duration of the whole campaign execution.
+    cell_seconds:
+        Per-cell simulation time keyed by ``"A/B"`` (cache hits record
+        their load time, effectively ~0).
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cells_simulated: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    cell_seconds: dict[str, float] = field(default_factory=dict)
+
+    def record_cell(self, event_a: str, event_b: str, elapsed_s: float) -> None:
+        """Record one finished cell's timing."""
+        self.cell_seconds[f"{event_a}/{event_b}"] = float(elapsed_s)
+
+    def as_metadata(self) -> dict:
+        """JSON-ready summary stored in ``SavatMatrix.metadata``."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cells_simulated": self.cells_simulated,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "cell_seconds": dict(self.cell_seconds),
+        }
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+def _config_payload(config: MeasurementConfig) -> dict:
+    """The measurement config as a stable, JSON-serializable mapping."""
+    return dataclasses.asdict(config)
+
+
+def campaign_cache_key(
+    machine_name: str,
+    distance_m: float,
+    config: MeasurementConfig,
+    event_names: Sequence[str],
+    repetitions: int,
+    seed: int,
+) -> str:
+    """Content hash identifying one campaign's results on disk.
+
+    Any change to the machine, distance, measurement configuration,
+    ordered event list, repetition count, or seed changes the key, so
+    stale entries can never be mistaken for current ones.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "machine": machine_name,
+        "distance_m": float(distance_m),
+        "config": _config_payload(config),
+        "events": list(event_names),
+        "repetitions": int(repetitions),
+        "seed": int(seed),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class ResultCache:
+    """Per-cell campaign results persisted under a cache directory.
+
+    Layout: ``<cache_dir>/<campaign_key>/cell_<i>_<j>.npz`` holding the
+    cell's repetition samples, plus a human-readable ``manifest.json``
+    describing the campaign the key hashes.  Writes go through a
+    temporary file and :func:`os.replace`, so concurrent workers (or
+    concurrent campaigns) never observe half-written entries; unreadable
+    or wrong-shaped entries are discarded and re-simulated.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir).expanduser()
+
+    def campaign_dir(self, key: str) -> Path:
+        """Directory holding one campaign's cells."""
+        return self.cache_dir / key
+
+    def cell_path(self, key: str, i: int, j: int) -> Path:
+        """File path of one cell's samples."""
+        return self.campaign_dir(key) / f"cell_{i:03d}_{j:03d}.npz"
+
+    def load_cell(self, key: str, i: int, j: int, repetitions: int) -> np.ndarray | None:
+        """Load one cell's samples, or ``None`` on a miss.
+
+        A corrupted, truncated, or wrong-shaped file counts as a miss:
+        the entry is deleted and the caller re-simulates the cell.
+        """
+        path = self.cell_path(key, i, j)
+        try:
+            with np.load(path) as data:
+                samples = np.asarray(data["samples_zj"], dtype=np.float64)
+        except FileNotFoundError:
+            return None
+        except Exception:  # noqa: BLE001 — any unreadable entry is a miss
+            path.unlink(missing_ok=True)
+            return None
+        if samples.shape != (repetitions,) or not np.all(np.isfinite(samples)):
+            path.unlink(missing_ok=True)
+            return None
+        return samples
+
+    def store_cell(self, key: str, i: int, j: int, samples: np.ndarray) -> None:
+        """Atomically persist one cell's samples."""
+        directory = self.campaign_dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=directory, prefix=f"cell_{i:03d}_{j:03d}_", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez(handle, samples_zj=np.asarray(samples, dtype=np.float64))
+            os.replace(temp_name, self.cell_path(key, i, j))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def write_manifest(self, key: str, payload: dict) -> None:
+        """Record what a campaign key means, for humans debugging the cache."""
+        directory = self.campaign_dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "manifest.json"
+        if path.exists():
+            return
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=directory, prefix="manifest_", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+
+# ----------------------------------------------------------------------
+# Cell simulation (shared by the serial path and the worker processes)
+# ----------------------------------------------------------------------
+def simulate_cell(
+    machine: CalibratedMachine,
+    config: MeasurementConfig,
+    event_a: InstructionEvent,
+    event_b: InstructionEvent,
+    repetitions: int,
+    seed_sequence: np.random.SeedSequence,
+) -> np.ndarray:
+    """Simulate one (A, B) cell: plan, trace, and all repetitions.
+
+    As in the paper's multi-day repeats, the deterministic kernel
+    simulation is shared across repetitions and only the environment
+    noise is re-drawn — from this cell's private seed-schedule stream.
+    """
+    rng = np.random.default_rng(seed_sequence)
+    plan = _plan_pair(machine, event_a, event_b, config.alternation_frequency_hz)
+    trace, plan = simulate_alternation_period(machine, plan)
+    samples = np.empty(repetitions, dtype=np.float64)
+    for repetition in range(repetitions):
+        samples[repetition] = measure_savat(
+            machine,
+            event_a,
+            event_b,
+            config=config,
+            rng=rng,
+            trace=trace,
+            plan=plan,
+        ).savat_zj
+    return samples
+
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(
+    machine: CalibratedMachine, config: MeasurementConfig, repetitions: int
+) -> None:
+    """Stash the per-process campaign context (runs once per worker)."""
+    _WORKER_STATE["machine"] = machine
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["repetitions"] = repetitions
+
+
+def _row_task(
+    row: int,
+    cells: list[tuple[int, InstructionEvent, InstructionEvent, np.random.SeedSequence]],
+) -> tuple[int, list[tuple[int, np.ndarray, float]]]:
+    """Simulate one row's pending cells inside a worker process."""
+    machine = _WORKER_STATE["machine"]
+    config = _WORKER_STATE["config"]
+    repetitions = _WORKER_STATE["repetitions"]
+    results: list[tuple[int, np.ndarray, float]] = []
+    for j, event_a, event_b, seed_sequence in cells:
+        started = time.perf_counter()
+        samples = simulate_cell(
+            machine, config, event_a, event_b, repetitions, seed_sequence
+        )
+        results.append((j, samples, time.perf_counter() - started))
+    return row, results
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+def execute_campaign(
+    machine: CalibratedMachine,
+    events: Sequence[InstructionEvent],
+    config: MeasurementConfig | None = None,
+    repetitions: int = 10,
+    seed: int = 0,
+    workers: int = 0,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
+) -> tuple[np.ndarray, CampaignStats]:
+    """Measure every ordered (A, B) cell of a campaign, possibly in parallel.
+
+    Parameters
+    ----------
+    machine:
+        Calibrated machine (fixes the distance too).
+    events:
+        Resolved event objects, in matrix order.
+    config:
+        Measurement configuration; the paper's defaults if omitted.
+    repetitions:
+        Measurements per cell.
+    seed:
+        Campaign seed, expanded into the per-cell schedule by
+        :func:`spawn_cell_seeds`.
+    workers:
+        Worker processes; ``0`` or ``1`` runs serially in-process.
+        Results are bit-identical either way.
+    cache:
+        Optional :class:`ResultCache`; hits skip simulation entirely.
+    progress:
+        Optional ``(event_a, event_b, done, total)`` callback invoked as
+        each cell completes (cache hits included).
+
+    Returns
+    -------
+    tuple
+        ``(samples, stats)`` — the ``(N, N, repetitions)`` sample array
+        in zJ and the execution counters/timings.
+    """
+    config = config or MeasurementConfig()
+    resolved = list(events)
+    count = len(resolved)
+    if count == 0:
+        raise ConfigurationError("campaign needs at least one event")
+    if repetitions < 1:
+        raise ConfigurationError("repetitions must be at least 1")
+    names = [event.name for event in resolved]
+
+    effective_workers = max(int(workers), 1)
+    stats = CampaignStats(workers=effective_workers)
+    samples = np.zeros((count, count, repetitions))
+    seeds = spawn_cell_seeds(seed, count)
+    started = time.perf_counter()
+    total = count * count
+    done = 0
+
+    def finish(i: int, j: int, cell_samples: np.ndarray, elapsed_s: float) -> None:
+        nonlocal done
+        samples[i, j] = cell_samples
+        stats.record_cell(names[i], names[j], elapsed_s)
+        done += 1
+        if progress is not None:
+            progress(names[i], names[j], done, total)
+
+    key: str | None = None
+    if cache is not None:
+        key = campaign_cache_key(
+            machine.name, machine.distance_m, config, names, repetitions, seed
+        )
+        cache.write_manifest(
+            key,
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "machine": machine.name,
+                "distance_m": machine.distance_m,
+                "config": _config_payload(config),
+                "events": names,
+                "repetitions": repetitions,
+                "seed": seed,
+            },
+        )
+
+    # Resolve cache hits first so the fan-out only sees the cold cells.
+    pending: dict[int, list] = {}
+    for i in range(count):
+        for j in range(count):
+            load_started = time.perf_counter()
+            cached = cache.load_cell(key, i, j, repetitions) if cache is not None else None
+            if cached is not None:
+                stats.cache_hits += 1
+                finish(i, j, cached, time.perf_counter() - load_started)
+            else:
+                if cache is not None:
+                    stats.cache_misses += 1
+                pending.setdefault(i, []).append(
+                    (j, resolved[i], resolved[j], seeds[i * count + j])
+                )
+
+    rows = sorted(pending.items())
+    if effective_workers <= 1 or len(rows) <= 1:
+        for i, cells in rows:
+            for j, event_a, event_b, seed_sequence in cells:
+                cell_started = time.perf_counter()
+                cell_samples = simulate_cell(
+                    machine, config, event_a, event_b, repetitions, seed_sequence
+                )
+                elapsed = time.perf_counter() - cell_started
+                stats.cells_simulated += 1
+                if cache is not None:
+                    cache.store_cell(key, i, j, cell_samples)
+                finish(i, j, cell_samples, elapsed)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(effective_workers, len(rows)),
+            initializer=_init_worker,
+            initargs=(machine, config, repetitions),
+        ) as pool:
+            futures = [pool.submit(_row_task, i, cells) for i, cells in rows]
+            for future in as_completed(futures):
+                i, row_results = future.result()
+                for j, cell_samples, elapsed in row_results:
+                    stats.cells_simulated += 1
+                    if cache is not None:
+                        cache.store_cell(key, i, j, cell_samples)
+                    finish(i, j, cell_samples, elapsed)
+
+    stats.wall_seconds = time.perf_counter() - started
+    return samples, stats
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CampaignStats",
+    "ResultCache",
+    "campaign_cache_key",
+    "cell_seed",
+    "execute_campaign",
+    "simulate_cell",
+    "spawn_cell_seeds",
+]

@@ -1,0 +1,143 @@
+"""Regression tests: parallel execution is bit-identical to serial.
+
+The executor's contract is that the per-cell seed schedule — not the
+execution order — determines every noise draw, so fanning a campaign
+out across worker processes must reproduce the serial samples bit for
+bit, and the same seed must always yield the same matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.executor import cell_seed, execute_campaign, spawn_cell_seeds
+from repro.core.savat import MeasurementConfig
+from repro.errors import ConfigurationError
+from repro.isa.events import get_event
+
+#: A fast config for executor tests: a 10x higher alternation frequency
+#: shrinks the simulated period 10x without changing the code paths.
+FAST_CONFIG = MeasurementConfig(alternation_frequency_hz=800e3)
+
+EVENTS = ("ADD", "SUB", "MUL", "NOI")
+
+
+class TestSeedSchedule:
+    def test_schedule_is_deterministic(self):
+        first = spawn_cell_seeds(7, 4)
+        second = spawn_cell_seeds(7, 4)
+        assert len(first) == 16
+        for a, b in zip(first, second):
+            assert a.entropy == b.entropy
+            assert a.spawn_key == b.spawn_key
+
+    def test_cells_draw_distinct_streams(self):
+        seeds = spawn_cell_seeds(0, 3)
+        draws = {
+            float(np.random.default_rng(seq).normal()) for seq in seeds
+        }
+        assert len(draws) == 9
+
+    def test_cell_seed_matches_schedule_entry(self):
+        seeds = spawn_cell_seeds(42, 4)
+        entry = cell_seed(42, 4, 2, 3)
+        assert entry.spawn_key == seeds[2 * 4 + 3].spawn_key
+
+    def test_cell_seed_rejects_out_of_range_cells(self):
+        with pytest.raises(ConfigurationError):
+            cell_seed(0, 3, 3, 0)
+        with pytest.raises(ConfigurationError):
+            cell_seed(0, 3, 0, -1)
+
+
+@pytest.mark.slow
+class TestParallelMatchesSerial:
+    @pytest.fixture(scope="class")
+    def serial(self, core2duo_10cm):
+        return run_campaign(
+            core2duo_10cm,
+            events=EVENTS,
+            repetitions=2,
+            seed=5,
+            config=FAST_CONFIG,
+        )
+
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_parallel_is_bit_identical(self, core2duo_10cm, serial, workers):
+        parallel = run_campaign(
+            core2duo_10cm,
+            events=EVENTS,
+            repetitions=2,
+            seed=5,
+            config=FAST_CONFIG,
+            workers=workers,
+        )
+        assert np.array_equal(parallel.samples_zj, serial.samples_zj)
+        assert parallel.events == serial.events
+
+    def test_same_seed_reproduces_exactly(self, core2duo_10cm, serial):
+        again = run_campaign(
+            core2duo_10cm,
+            events=EVENTS,
+            repetitions=2,
+            seed=5,
+            config=FAST_CONFIG,
+        )
+        assert np.array_equal(again.samples_zj, serial.samples_zj)
+
+    def test_different_seed_differs(self, core2duo_10cm, serial):
+        other = run_campaign(
+            core2duo_10cm,
+            events=EVENTS,
+            repetitions=2,
+            seed=6,
+            config=FAST_CONFIG,
+        )
+        assert not np.array_equal(other.samples_zj, serial.samples_zj)
+
+    def test_execution_metadata_recorded(self, core2duo_10cm):
+        matrix = run_campaign(
+            core2duo_10cm,
+            events=("ADD", "SUB"),
+            repetitions=1,
+            seed=5,
+            config=FAST_CONFIG,
+            workers=2,
+        )
+        execution = matrix.metadata["execution"]
+        assert execution["workers"] == 2
+        assert execution["cells_simulated"] == 4
+        assert execution["cache_hits"] == 0
+        assert execution["cache_misses"] == 0
+        assert set(execution["cell_seconds"]) == {
+            "ADD/ADD", "ADD/SUB", "SUB/ADD", "SUB/SUB"
+        }
+        assert all(t >= 0 for t in execution["cell_seconds"].values())
+        assert execution["wall_seconds"] > 0
+
+    def test_parallel_progress_reports_every_cell(self, core2duo_10cm):
+        calls = []
+        run_campaign(
+            core2duo_10cm,
+            events=("ADD", "SUB"),
+            repetitions=1,
+            seed=5,
+            config=FAST_CONFIG,
+            workers=2,
+            progress=lambda a, b, done, total: calls.append((a, b, done, total)),
+        )
+        assert len(calls) == 4
+        assert [call[2] for call in calls] == [1, 2, 3, 4]
+        assert {call[:2] for call in calls} == {
+            ("ADD", "ADD"), ("ADD", "SUB"), ("SUB", "ADD"), ("SUB", "SUB")
+        }
+
+
+class TestExecuteCampaignValidation:
+    def test_rejects_empty_event_list(self, core2duo_10cm):
+        with pytest.raises(ConfigurationError):
+            execute_campaign(core2duo_10cm, [], repetitions=1)
+
+    def test_rejects_zero_repetitions(self, core2duo_10cm):
+        with pytest.raises(ConfigurationError):
+            execute_campaign(core2duo_10cm, [get_event("ADD")], repetitions=0)

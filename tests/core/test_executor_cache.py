@@ -1,0 +1,188 @@
+"""Tests for the on-disk campaign result cache.
+
+A warm cache must return an equal matrix while performing zero cell
+simulations; changing any key component (seed, distance, event set,
+repetitions, config) must miss; and corrupted or truncated entries are
+discarded gracefully and re-simulated instead of crashing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.executor import ResultCache, campaign_cache_key
+from repro.core.savat import MeasurementConfig
+
+FAST_CONFIG = MeasurementConfig(alternation_frequency_hz=800e3)
+
+EVENTS = ("ADD", "SUB")
+SEED = 3
+REPETITIONS = 2
+
+
+def _run(machine, cache_dir, **overrides):
+    parameters = dict(
+        events=EVENTS,
+        repetitions=REPETITIONS,
+        seed=SEED,
+        config=FAST_CONFIG,
+        cache_dir=cache_dir,
+    )
+    parameters.update(overrides)
+    return run_campaign(machine, **parameters)
+
+
+def _execution(matrix):
+    return matrix.metadata["execution"]
+
+
+@pytest.mark.slow
+class TestCacheHitsAndMisses:
+    @pytest.fixture()
+    def warm_cache(self, core2duo_10cm, tmp_path):
+        """A cache directory primed with the canonical tiny campaign."""
+        cold = _run(core2duo_10cm, tmp_path)
+        return tmp_path, cold
+
+    def test_cold_run_misses_every_cell(self, warm_cache):
+        _cache_dir, cold = warm_cache
+        execution = _execution(cold)
+        assert execution["cache_hits"] == 0
+        assert execution["cache_misses"] == len(EVENTS) ** 2
+        assert execution["cells_simulated"] == len(EVENTS) ** 2
+
+    def test_warm_run_simulates_nothing_and_matches(self, core2duo_10cm, warm_cache):
+        cache_dir, cold = warm_cache
+        warm = _run(core2duo_10cm, cache_dir)
+        execution = _execution(warm)
+        assert execution["cache_hits"] == len(EVENTS) ** 2
+        assert execution["cache_misses"] == 0
+        assert execution["cells_simulated"] == 0
+        assert np.array_equal(warm.samples_zj, cold.samples_zj)
+        assert warm.events == cold.events
+
+    def test_warm_cache_equals_uncached_run(self, core2duo_10cm, warm_cache):
+        cache_dir, _cold = warm_cache
+        uncached = _run(core2duo_10cm, None)
+        warm = _run(core2duo_10cm, cache_dir, workers=2)
+        assert np.array_equal(warm.samples_zj, uncached.samples_zj)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"seed": SEED + 1},
+            {"repetitions": REPETITIONS + 1},
+            {"events": ("ADD", "MUL")},
+            {"config": MeasurementConfig(alternation_frequency_hz=400e3)},
+        ],
+        ids=["seed", "repetitions", "events", "config"],
+    )
+    def test_changed_parameter_misses(self, core2duo_10cm, warm_cache, overrides):
+        cache_dir, _cold = warm_cache
+        changed = _run(core2duo_10cm, cache_dir, **overrides)
+        execution = _execution(changed)
+        assert execution["cache_hits"] == 0
+        assert execution["cells_simulated"] > 0
+
+    def test_changed_distance_misses(self, core2duo_100cm, warm_cache):
+        cache_dir, _cold = warm_cache
+        changed = _run(core2duo_100cm, cache_dir)
+        execution = _execution(changed)
+        assert execution["cache_hits"] == 0
+        assert execution["cells_simulated"] == len(EVENTS) ** 2
+
+
+@pytest.mark.slow
+class TestCacheCorruption:
+    def test_corrupted_entry_is_discarded_and_resimulated(
+        self, core2duo_10cm, tmp_path
+    ):
+        cold = _run(core2duo_10cm, tmp_path)
+        cache = ResultCache(tmp_path)
+        key = campaign_cache_key(
+            core2duo_10cm.name,
+            core2duo_10cm.distance_m,
+            FAST_CONFIG,
+            EVENTS,
+            REPETITIONS,
+            SEED,
+        )
+        cache.cell_path(key, 0, 1).write_bytes(b"this is not an npz file")
+        warm = _run(core2duo_10cm, tmp_path)
+        execution = _execution(warm)
+        assert execution["cache_hits"] == len(EVENTS) ** 2 - 1
+        assert execution["cache_misses"] == 1
+        assert np.array_equal(warm.samples_zj, cold.samples_zj)
+
+    def test_truncated_entry_is_discarded_and_resimulated(
+        self, core2duo_10cm, tmp_path
+    ):
+        cold = _run(core2duo_10cm, tmp_path)
+        cache = ResultCache(tmp_path)
+        key = campaign_cache_key(
+            core2duo_10cm.name,
+            core2duo_10cm.distance_m,
+            FAST_CONFIG,
+            EVENTS,
+            REPETITIONS,
+            SEED,
+        )
+        path = cache.cell_path(key, 1, 0)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        warm = _run(core2duo_10cm, tmp_path)
+        assert _execution(warm)["cache_misses"] == 1
+        assert np.array_equal(warm.samples_zj, cold.samples_zj)
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_cell("somekey", 0, 0, np.ones(3))
+        assert cache.load_cell("somekey", 0, 0, repetitions=3) is not None
+        assert cache.load_cell("somekey", 0, 0, repetitions=5) is None
+        # The wrong-shape probe deleted the entry outright.
+        assert cache.load_cell("somekey", 0, 0, repetitions=3) is None
+
+    def test_non_finite_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_cell("somekey", 0, 0, np.array([1.0, np.nan]))
+        assert cache.load_cell("somekey", 0, 0, repetitions=2) is None
+
+
+class TestCacheKey:
+    BASE = dict(
+        machine_name="core2duo",
+        distance_m=0.10,
+        config=MeasurementConfig(),
+        event_names=("ADD", "SUB"),
+        repetitions=2,
+        seed=0,
+    )
+
+    def test_key_is_stable(self):
+        assert campaign_cache_key(**self.BASE) == campaign_cache_key(**self.BASE)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"machine_name": "pentium3m"},
+            {"distance_m": 0.50},
+            {"config": MeasurementConfig(method="synthesis")},
+            {"config": MeasurementConfig(loop_noise_fraction=0.07)},
+            {"event_names": ("SUB", "ADD")},
+            {"event_names": ("ADD", "SUB", "MUL")},
+            {"repetitions": 3},
+            {"seed": 1},
+        ],
+    )
+    def test_any_component_changes_the_key(self, overrides):
+        changed = dict(self.BASE)
+        changed.update(overrides)
+        assert campaign_cache_key(**changed) != campaign_cache_key(**self.BASE)
+
+    def test_manifest_written_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.write_manifest("k", {"seed": 0})
+        manifest = cache.campaign_dir("k") / "manifest.json"
+        assert manifest.exists()
+        before = manifest.read_text()
+        cache.write_manifest("k", {"seed": 999})
+        assert manifest.read_text() == before

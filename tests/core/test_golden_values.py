@@ -1,0 +1,91 @@
+"""Golden-value regression test for the paper-reproduction numbers.
+
+Pins the seed-0 Core 2 Duo campaign cells (default measurement config,
+10 cm) to the values the current executor produces, at 1e-9 relative
+tolerance.  Any refactor of the executor, the seed schedule, the kernel
+simulation, or the EM pipeline that silently shifts the reproduced
+paper numbers fails here first.
+
+If a change *intentionally* alters the numbers (e.g. a physics-model
+fix), regenerate the constants below with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.machines.calibrated import load_calibrated_machine
+    from repro.core.campaign import run_campaign
+    machine = load_calibrated_machine("core2duo", 0.10)
+    matrix = run_campaign(
+        machine, events=("ADD", "SUB", "LDM", "STM"), repetitions=2, seed=0
+    )
+    for a in matrix.events:
+        for b in matrix.events:
+            print(a, b, repr(matrix.cell(a, b)))
+    EOF
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import run_campaign
+
+GOLDEN_EVENTS = ("ADD", "SUB", "LDM", "STM")
+GOLDEN_REPETITIONS = 2
+GOLDEN_SEED = 0
+
+#: Mean SAVAT (zJ) per cell of the seed-0 golden campaign.
+GOLDEN_CELLS = {
+    ("LDM", "STM"): 2.6389543040820844,
+    ("STM", "LDM"): 2.7006450972243874,
+    ("ADD", "SUB"): 0.5892739155327535,
+    ("SUB", "ADD"): 0.6478942160450085,
+    ("ADD", "ADD"): 0.7171572215069673,
+    ("SUB", "SUB"): 0.5791273268344774,
+    ("LDM", "LDM"): 1.809866571982836,
+    ("STM", "STM"): 2.4227043114977027,
+}
+
+#: Individual repetition samples (zJ) for two representative cells.
+GOLDEN_SAMPLES = {
+    ("ADD", "SUB"): [0.5379761971329192, 0.6405716339325878],
+    ("LDM", "STM"): [2.6036842337990524, 2.6742243743651164],
+}
+
+TOLERANCE = 1e-9
+
+
+@pytest.mark.slow
+class TestGoldenSeedZeroCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self, core2duo_10cm):
+        return run_campaign(
+            core2duo_10cm,
+            events=GOLDEN_EVENTS,
+            repetitions=GOLDEN_REPETITIONS,
+            seed=GOLDEN_SEED,
+        )
+
+    @pytest.mark.parametrize("pair", sorted(GOLDEN_CELLS))
+    def test_cell_mean_pinned(self, campaign, pair):
+        assert campaign.cell(*pair) == pytest.approx(
+            GOLDEN_CELLS[pair], rel=TOLERANCE, abs=TOLERANCE
+        )
+
+    @pytest.mark.parametrize("pair", sorted(GOLDEN_SAMPLES))
+    def test_repetition_samples_pinned(self, campaign, pair):
+        assert campaign.cell_samples(*pair) == pytest.approx(
+            GOLDEN_SAMPLES[pair], rel=TOLERANCE, abs=TOLERANCE
+        )
+
+    def test_parallel_run_reproduces_golden_cells(self, core2duo_10cm, campaign):
+        """The golden numbers are execution-order-independent."""
+        parallel = run_campaign(
+            core2duo_10cm,
+            events=GOLDEN_EVENTS,
+            repetitions=GOLDEN_REPETITIONS,
+            seed=GOLDEN_SEED,
+            workers=2,
+        )
+        assert np.array_equal(parallel.samples_zj, campaign.samples_zj)
+
+    def test_all_cells_positive_and_memory_dominates(self, campaign):
+        assert np.all(campaign.samples_zj > 0)
+        assert campaign.cell("LDM", "STM") > campaign.cell("ADD", "SUB")

@@ -1,9 +1,11 @@
 """Property tests for SavatMatrix serialization and statistics."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.matrix import SavatMatrix
+from repro.errors import ConfigurationError
 
 _EVENT_SETS = st.sampled_from(
     [("ADD", "MUL"), ("ADD", "MUL", "LDM"), ("LDM", "STM", "DIV", "NOI")]
@@ -64,3 +66,75 @@ def test_csv_is_rectangular(matrix):
     width = len(lines[0].split(","))
     assert all(len(line.split(",")) == width for line in lines)
     assert len(lines) == len(matrix.events) + 1
+
+
+@given(
+    events=_EVENT_SETS,
+    rows=st.integers(min_value=0, max_value=6),
+    columns=st.integers(min_value=0, max_value=6),
+    repetitions=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_mismatched_shapes_raise_configuration_error(
+    events, rows, columns, repetitions
+):
+    if (rows, columns) == (len(events), len(events)):
+        rows += 1  # force a genuine mismatch
+    samples = np.ones((rows, columns, repetitions))
+    with pytest.raises(ConfigurationError):
+        SavatMatrix(events, samples, machine="m", distance_m=0.1)
+
+
+@given(events=_EVENT_SETS)
+@settings(max_examples=20, deadline=None)
+def test_flat_samples_raise_configuration_error(events):
+    with pytest.raises(ConfigurationError):
+        SavatMatrix(events, np.ones(len(events)), machine="m", distance_m=0.1)
+
+
+@given(matrix=_matrices())
+@settings(max_examples=40, deadline=None)
+def test_repeatability_ratio_is_non_negative(matrix):
+    assert matrix.std_over_mean() >= 0.0
+    assert np.all(matrix.std() >= 0.0)
+
+
+@st.composite
+def _matrices_with_permutations(draw) -> tuple[SavatMatrix, SavatMatrix]:
+    matrix = draw(_matrices())
+    count = len(matrix.events)
+    order = draw(st.permutations(range(count)))
+    order = np.asarray(order)
+    permuted = SavatMatrix(
+        events=tuple(matrix.events[k] for k in order),
+        samples_zj=matrix.samples_zj[np.ix_(order, order)],
+        machine=matrix.machine,
+        distance_m=matrix.distance_m,
+    )
+    return matrix, permuted
+
+
+@given(pair=_matrices_with_permutations())
+@settings(max_examples=40, deadline=None)
+def test_statistics_survive_event_permutation(pair):
+    """Reordering the events permutes rows/columns but cannot change the
+    paper's scalar validity statistics or the diagonal value set."""
+    matrix, permuted = pair
+    assert permuted.std_over_mean() == pytest.approx(matrix.std_over_mean())
+    assert permuted.asymmetry() == pytest.approx(matrix.asymmetry())
+    assert permuted.diagonal_minimality() == matrix.diagonal_minimality()
+    assert sorted(permuted.diagonal()) == pytest.approx(sorted(matrix.diagonal()))
+    for event_a in matrix.events:
+        for event_b in matrix.events:
+            assert permuted.cell(event_a, event_b) == pytest.approx(
+                matrix.cell(event_a, event_b)
+            )
+
+
+@given(pair=_matrices_with_permutations())
+@settings(max_examples=40, deadline=None)
+def test_symmetrized_diagonal_survives_event_permutation(pair):
+    matrix, permuted = pair
+    assert sorted(np.diag(permuted.symmetrized())) == pytest.approx(
+        sorted(np.diag(matrix.symmetrized()))
+    )

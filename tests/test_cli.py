@@ -24,6 +24,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--format", "xml"])
 
+    def test_campaign_execution_defaults(self, monkeypatch):
+        monkeypatch.delenv("SAVAT_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(["campaign"])
+        assert args.workers == 0
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_campaign_execution_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--workers", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is True
+
+    def test_cache_dir_defaults_from_environment(self, monkeypatch):
+        monkeypatch.setenv("SAVAT_CACHE_DIR", "/tmp/from-env")
+        args = build_parser().parse_args(["campaign"])
+        assert args.cache_dir == "/tmp/from-env"
+
+    def test_groups_accepts_execution_flags(self):
+        args = build_parser().parse_args(["groups", "--workers", "2"])
+        assert args.workers == 2
+
     def test_audit_memory_assumption(self):
         args = build_parser().parse_args(["audit", "x.s", "--assume-memory", "L2"])
         assert args.assume_memory == "L2"
@@ -59,6 +83,20 @@ class TestCommands:
         assert code == 0
         payload = json.loads(output)
         assert payload["events"] == ["ADD", "SUB"]
+
+    def test_campaign_parallel_cached_rerun_is_identical(
+        self, capsys, core2duo_10cm, tmp_path
+    ):
+        arguments = [
+            "campaign", "--events", "ADD,SUB", "--repetitions", "1",
+            "--workers", "2", "--cache-dir", str(tmp_path), "--format", "csv",
+        ]
+        assert main(arguments) == 0
+        cold = capsys.readouterr().out
+        assert main(arguments) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert list(tmp_path.rglob("cell_*.npz"))
 
     def test_audit_leaky_file(self, capsys, tmp_path):
         source = tmp_path / "victim.s"
