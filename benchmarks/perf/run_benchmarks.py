@@ -1,0 +1,280 @@
+"""Microbenchmarks for the vectorized simulation fast path.
+
+Times the three layers the fast path accelerates, in isolation and end
+to end, on the fast and the scalar reference implementations:
+
+* **cold cell** — a complete cold single-cell SAVAT measurement (CPI
+  probes, priming, warm-up + measured period, projection) for an
+  arithmetic pair (ADD/SUB) and the worst-case off-chip pair (LDM/STM);
+* **priming** — ``prime_alternation_steady_state`` alone, full size;
+* **finish** — ``ActivityRecorder.finish`` alone on a synthetic event
+  population shaped like a measured period (mostly single-cycle events
+  plus a minority of multi-cycle windows).
+
+Results are written to ``BENCH_simulation.json``.  With ``--campaign``
+the cold, cache-disabled, serial Figure 9-sized campaign (11x11 events,
+2 repetitions, seed 2014) is also run and compared against the pre-PR
+baseline measured on the same container.  With ``--check`` the cold
+single-cell latencies are compared against a checked-in baseline and
+the process exits non-zero on a >2x regression.
+
+Usage (from the repository root):
+
+    PYTHONPATH=src python benchmarks/perf/run_benchmarks.py
+    PYTHONPATH=src python benchmarks/perf/run_benchmarks.py --campaign
+    PYTHONPATH=src python benchmarks/perf/run_benchmarks.py \
+        --check benchmarks/perf/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import savat  # noqa: E402
+from repro.core.executor import execute_campaign  # noqa: E402
+from repro.core.savat import clear_cpi_cache, measure_savat  # noqa: E402
+from repro.isa.events import PAPER_EVENTS, get_event  # noqa: E402
+from repro.machines.calibrated import load_calibrated_machine  # noqa: E402
+from repro.uarch.activity import ActivityRecorder  # noqa: E402
+from repro.uarch.components import COMPONENT_ORDER  # noqa: E402
+from repro.uarch.fastpath import use_fast_path, use_reference_path  # noqa: E402
+
+#: Pre-PR wall-clock of the cold, cache-disabled, *serial* Figure 9-sized
+#: campaign (11x11 events, 2 repetitions, seed 2014, core2duo at 10 cm)
+#: measured on this container immediately before the fast path landed.
+PRE_PR_CAMPAIGN_SECONDS = 167.7455028710001
+
+#: Sum of all campaign samples from that same pre-PR run — the fast path
+#: must reproduce it bit-for-bit.
+PRE_PR_CAMPAIGN_CHECKSUM = 768.9661831795673
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simulation.json"
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+#: Regression threshold for --check: fail when a cold single-cell fast
+#: latency exceeds the baseline by more than this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def _timed(callable_, repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``callable_()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_cold_cell(machine, pair: tuple[str, str], repeats: int) -> dict:
+    """Cold single-cell measurement: CPI probes + priming + simulation."""
+
+    def cold(path_manager):
+        clear_cpi_cache()
+        with path_manager():
+            measure_savat(machine, *pair)
+
+    fast = _timed(lambda: cold(use_fast_path), repeats)
+    reference = _timed(lambda: cold(use_reference_path), repeats)
+    return {"fast_s": fast, "reference_s": reference, "speedup": reference / fast}
+
+
+def bench_priming(machine, pair: tuple[str, str], repeats: int) -> dict:
+    """Steady-state priming alone, at the pair's real loop count."""
+    clear_cpi_cache()
+    plan = savat._plan_pair(machine, get_event(pair[0]), get_event(pair[1]), 80e3)
+    spec = plan.spec
+    core = machine.make_core()
+
+    def prime(path_manager):
+        with path_manager():
+            savat.prime_alternation_steady_state(core, spec)
+
+    fast = _timed(lambda: prime(use_fast_path), repeats)
+    reference = _timed(lambda: prime(use_reference_path), repeats)
+    return {
+        "inst_loop_count": spec.inst_loop_count,
+        "fast_s": fast,
+        "reference_s": reference,
+        "speedup": reference / fast,
+    }
+
+
+def bench_finish(repeats: int) -> dict:
+    """Trace materialization alone, on a period-shaped event population."""
+    rng = np.random.default_rng(0)
+    num_cycles = 60_000
+    single = 400_000
+    windows = 8_000
+
+    def build() -> ActivityRecorder:
+        recorder = ActivityRecorder(clock_hz=2.4e9)
+        for start, component in zip(
+            rng.integers(0, num_cycles, size=single).tolist(),
+            rng.integers(0, len(COMPONENT_ORDER), size=single).tolist(),
+        ):
+            recorder.add(COMPONENT_ORDER[component], start, 1, 0.5)
+        for start, component in zip(
+            rng.integers(0, num_cycles, size=windows).tolist(),
+            rng.integers(0, len(COMPONENT_ORDER), size=windows).tolist(),
+        ):
+            recorder.add(COMPONENT_ORDER[component], start, 14, 0.125)
+        return recorder
+
+    recorder = build()
+    elapsed = _timed(lambda: recorder.finish(num_cycles), repeats)
+    return {
+        "events": single + windows,
+        "num_cycles": num_cycles,
+        "finish_s": elapsed,
+        "events_per_second": (single + windows) / elapsed,
+    }
+
+
+def bench_campaign(machine) -> dict:
+    """Cold, cache-disabled, serial Figure 9-sized campaign (fast path)."""
+    clear_cpi_cache()
+    with use_fast_path():
+        started = time.perf_counter()
+        samples, _stats = execute_campaign(
+            machine,
+            list(PAPER_EVENTS),
+            repetitions=2,
+            seed=2014,
+            workers=1,
+            cache=None,
+        )
+        elapsed = time.perf_counter() - started
+    checksum = float(samples.sum())
+    return {
+        "fast_s": elapsed,
+        "pre_pr_reference_s": PRE_PR_CAMPAIGN_SECONDS,
+        "speedup_vs_pre_pr": PRE_PR_CAMPAIGN_SECONDS / elapsed,
+        "samples_checksum": checksum,
+        "pre_pr_samples_checksum": PRE_PR_CAMPAIGN_CHECKSUM,
+        "checksum_matches_pre_pr": bool(
+            abs(checksum - PRE_PR_CAMPAIGN_CHECKSUM)
+            <= 1e-9 * abs(PRE_PR_CAMPAIGN_CHECKSUM)
+        ),
+    }
+
+
+def run(args) -> int:
+    machine = load_calibrated_machine("core2duo", 0.10)
+    results: dict = {
+        "benchmark": "savat-simulation-fast-path",
+        "machine": "core2duo@10cm",
+        "repeats": args.repeats,
+    }
+
+    print("cold single-cell measurements (CPI probes + priming + period)...")
+    results["cold_cell"] = {
+        "ADD/SUB": bench_cold_cell(machine, ("ADD", "SUB"), args.repeats),
+        "LDM/STM": bench_cold_cell(machine, ("LDM", "STM"), args.repeats),
+    }
+    for pair, numbers in results["cold_cell"].items():
+        print(
+            f"  {pair}: fast {numbers['fast_s']:.3f}s  "
+            f"reference {numbers['reference_s']:.3f}s  "
+            f"({numbers['speedup']:.1f}x)"
+        )
+
+    print("sweep priming in isolation...")
+    results["priming"] = {"LDM/STM": bench_priming(machine, ("LDM", "STM"), args.repeats)}
+    numbers = results["priming"]["LDM/STM"]
+    print(
+        f"  LDM/STM: fast {numbers['fast_s']:.3f}s  "
+        f"reference {numbers['reference_s']:.3f}s  ({numbers['speedup']:.1f}x)"
+    )
+
+    print("trace materialization (finish) in isolation...")
+    results["finish"] = bench_finish(args.repeats)
+    print(
+        f"  {results['finish']['events']} events -> "
+        f"{results['finish']['finish_s']:.3f}s"
+    )
+
+    if args.campaign:
+        print("cold serial 11x11 campaign (this takes a while on the fast path,")
+        print(f"and took {PRE_PR_CAMPAIGN_SECONDS:.1f}s before the fast path)...")
+        results["campaign"] = bench_campaign(machine)
+        numbers = results["campaign"]
+        print(
+            f"  fast {numbers['fast_s']:.1f}s vs pre-PR "
+            f"{numbers['pre_pr_reference_s']:.1f}s "
+            f"({numbers['speedup_vs_pre_pr']:.1f}x); checksum match: "
+            f"{numbers['checksum_matches_pre_pr']}"
+        )
+
+    output = pathlib.Path(args.output)
+    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+
+    if args.update_baseline:
+        baseline = {
+            "cold_cell": {
+                pair: {"fast_s": numbers["fast_s"]}
+                for pair, numbers in results["cold_cell"].items()
+            }
+        }
+        DEFAULT_BASELINE.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {DEFAULT_BASELINE}")
+
+    if args.check is not None:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failed = False
+        for pair, numbers in baseline["cold_cell"].items():
+            allowed = numbers["fast_s"] * REGRESSION_FACTOR
+            measured = results["cold_cell"][pair]["fast_s"]
+            status = "ok" if measured <= allowed else "REGRESSION"
+            print(
+                f"check {pair}: {measured:.3f}s vs baseline "
+                f"{numbers['fast_s']:.3f}s (allowed {allowed:.3f}s) -> {status}"
+            )
+            failed = failed or measured > allowed
+        if failed:
+            print("FAIL: cold single-cell latency regressed more than "
+                  f"{REGRESSION_FACTOR}x over the baseline")
+            return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timing repeats per benchmark (best-of; default 2)",
+    )
+    parser.add_argument(
+        "--campaign", action="store_true",
+        help="also run the cold serial 11x11 campaign end to end",
+    )
+    parser.add_argument(
+        "--output", default=str(DEFAULT_OUTPUT),
+        help=f"result file (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE.JSON", default=None,
+        help="fail (exit 1) if cold single-cell fast latency regresses "
+        f">{REGRESSION_FACTOR}x vs the given baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=f"rewrite {DEFAULT_BASELINE.name} from this run's numbers",
+    )
+    return run(parser.parse_args())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.isa.events import Footprint, InstructionEvent
 from repro.uarch.cache import Cache, CacheGeometry
@@ -115,6 +117,31 @@ class SweepPlan:
         return sequence
 
 
+def advance_pointer(pointer: int, mask: int, offset: int, steps: int) -> int:
+    """Pointer value after ``steps`` applications of the kernel's update.
+
+    One update is ``ptr = (ptr & ~mask) | ((ptr + offset) & mask)``.
+    Because ``mask`` spans a power-of-two footprint, the low bits evolve
+    as ``(low + k * offset) mod (mask + 1)`` while the high bits are
+    fixed, so any number of steps collapses to a single expression.
+    """
+    return (pointer & ~mask) | ((pointer + steps * offset) & mask)
+
+
+def sweep_address_stream(plan: SweepPlan, start_pointer: int, count: int):
+    """The next ``count`` addresses a sweep visits after ``start_pointer``.
+
+    Returns an int64 array: element ``k`` is the pointer after ``k + 1``
+    kernel updates (the loop updates the pointer *before* each access,
+    so the stream starts one step past ``start_pointer``).  This is the
+    vectorized equivalent of iterating the scalar update ``count`` times.
+    """
+    high = start_pointer & ~plan.mask
+    low = start_pointer & plan.mask
+    steps = np.arange(1, count + 1, dtype=np.int64)
+    return high | ((low + steps * plan.offset) & plan.mask)
+
+
 def plan_sweep(
     event: InstructionEvent,
     l1_geometry: CacheGeometry,
@@ -134,8 +161,7 @@ def _install_lines(cache: Cache, line_addresses: list[int], dirty: bool) -> None
     statistics subtracted afterwards, leaving counters untouched.
     """
     before = vars(cache.stats).copy()
-    for address in line_addresses:
-        cache.access(address, is_write=dirty)
+    cache.access_block(line_addresses, is_write=dirty)
     for key, value in before.items():
         setattr(cache.stats, key, value)
 

@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.codegen.frequency import FrequencyPlan
 from repro.core.savat import (
     MeasurementConfig,
     _plan_pair,
@@ -253,15 +254,23 @@ def simulate_cell(
     event_b: InstructionEvent,
     repetitions: int,
     seed_sequence: np.random.SeedSequence,
+    plan: FrequencyPlan | None = None,
 ) -> np.ndarray:
     """Simulate one (A, B) cell: plan, trace, and all repetitions.
 
     As in the paper's multi-day repeats, the deterministic kernel
     simulation is shared across repetitions and only the environment
     noise is re-drawn — from this cell's private seed-schedule stream.
+
+    ``plan`` lets the campaign executor pre-compute the frequency plan
+    in the parent process (amortizing the per-event CPI probe runs over
+    every cell) instead of each worker re-probing from a cold cache;
+    the plan is a pure function of machine, pair, and frequency, so the
+    results are identical either way.
     """
     rng = np.random.default_rng(seed_sequence)
-    plan = _plan_pair(machine, event_a, event_b, config.alternation_frequency_hz)
+    if plan is None:
+        plan = _plan_pair(machine, event_a, event_b, config.alternation_frequency_hz)
     trace, plan = simulate_alternation_period(machine, plan)
     samples = np.empty(repetitions, dtype=np.float64)
     for repetition in range(repetitions):
@@ -291,17 +300,29 @@ def _init_worker(
 
 def _row_task(
     row: int,
-    cells: list[tuple[int, InstructionEvent, InstructionEvent, np.random.SeedSequence]],
+    cells: list[
+        tuple[
+            int,
+            InstructionEvent,
+            InstructionEvent,
+            np.random.SeedSequence,
+            FrequencyPlan,
+        ]
+    ],
 ) -> tuple[int, list[tuple[int, np.ndarray, float]]]:
-    """Simulate one row's pending cells inside a worker process."""
+    """Simulate one row's pending cells inside a worker process.
+
+    Each cell ships its pre-computed frequency plan from the parent, so
+    workers never re-run the per-event CPI probes.
+    """
     machine = _WORKER_STATE["machine"]
     config = _WORKER_STATE["config"]
     repetitions = _WORKER_STATE["repetitions"]
     results: list[tuple[int, np.ndarray, float]] = []
-    for j, event_a, event_b, seed_sequence in cells:
+    for j, event_a, event_b, seed_sequence, plan in cells:
         started = time.perf_counter()
         samples = simulate_cell(
-            machine, config, event_a, event_b, repetitions, seed_sequence
+            machine, config, event_a, event_b, repetitions, seed_sequence, plan=plan
         )
         results.append((j, samples, time.perf_counter() - started))
     return row, results
@@ -405,17 +426,26 @@ def execute_campaign(
             else:
                 if cache is not None:
                     stats.cache_misses += 1
+                # Plan in the parent: the per-event CPI probes behind
+                # _plan_pair are cached per (machine, event), so every
+                # pending cell after the first reuses them, and workers
+                # receive finished plans instead of each re-probing from
+                # a cold cache.
+                plan = _plan_pair(
+                    machine, resolved[i], resolved[j], config.alternation_frequency_hz
+                )
                 pending.setdefault(i, []).append(
-                    (j, resolved[i], resolved[j], seeds[i * count + j])
+                    (j, resolved[i], resolved[j], seeds[i * count + j], plan)
                 )
 
     rows = sorted(pending.items())
     if effective_workers <= 1 or len(rows) <= 1:
         for i, cells in rows:
-            for j, event_a, event_b, seed_sequence in cells:
+            for j, event_a, event_b, seed_sequence, plan in cells:
                 cell_started = time.perf_counter()
                 cell_samples = simulate_cell(
-                    machine, config, event_a, event_b, repetitions, seed_sequence
+                    machine, config, event_a, event_b, repetitions, seed_sequence,
+                    plan=plan,
                 )
                 elapsed = time.perf_counter() - cell_started
                 stats.cells_simulated += 1

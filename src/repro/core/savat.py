@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.codegen.alternation import build_alternation_program
 from repro.codegen.frequency import FrequencyPlan
+from repro.codegen.pointers import advance_pointer, sweep_address_stream
 from repro.em.coupling import band_power_from_modes, fourier_coefficient
 from repro.em.synthesis import JitterModel, synthesize_measurement
 from repro.errors import ConfigurationError, MeasurementError
@@ -37,6 +38,7 @@ from repro.instruments.spectrum_analyzer import Spectrum, SpectrumAnalyzer
 from repro.isa.events import InstructionEvent, get_event
 from repro.machines.calibrated import CalibratedMachine
 from repro.uarch.activity import ActivityTrace
+from repro.uarch.fastpath import fast_path_enabled
 from repro.units import REFERENCE_IMPEDANCE, ZEPTOJOULE
 
 #: Supported measurement methods.
@@ -165,10 +167,18 @@ def prime_alternation_steady_state(core, spec) -> tuple[int, int]:
     no instruction simulation) for enough periods, and returns the sweep
     pointers at the start of the next period so the measured run
     continues seamlessly.
+
+    The fast path precomputes both halves' full address streams with
+    NumPy (the pointer recurrence has a closed form), interleaves them
+    period by period in execution order, and replays the combined stream
+    through :meth:`~repro.uarch.hierarchy.MemoryHierarchy.access_stream`
+    in one call.  State and statistics are bit-identical to the scalar
+    reference loop below (``SAVAT_REFERENCE_PATH=1`` to force it).
     """
     core.hierarchy.reset()
-    offset = spec.sweep_a.offset
     count = spec.inst_loop_count
+    offset_a = spec.sweep_a.offset
+    offset_b = spec.sweep_b.offset
 
     periods_needed = 2
     for sweep, event in ((spec.sweep_a, spec.event_a), (spec.sweep_b, spec.event_b)):
@@ -176,23 +186,50 @@ def prime_alternation_steady_state(core, spec) -> tuple[int, int]:
             periods_needed = max(periods_needed, -(-sweep.num_slots // count) + 2)
     periods_needed = min(periods_needed, MAX_PRIME_PERIODS)
 
-    pointer_a = spec.sweep_a.base
-    pointer_b = spec.sweep_b.base
     mask_a = spec.sweep_a.mask
     mask_b = spec.sweep_b.mask
-    access = core.hierarchy.access
     a_is_memory = spec.event_a.is_memory
     b_is_memory = spec.event_b.is_memory
     a_is_store = spec.event_a.is_store
     b_is_store = spec.event_b.is_store
+    total = periods_needed * count
+
+    if fast_path_enabled():
+        if a_is_memory and b_is_memory:
+            stream_a = sweep_address_stream(spec.sweep_a, spec.sweep_a.base, total)
+            stream_b = sweep_address_stream(spec.sweep_b, spec.sweep_b.base, total)
+            stream = np.empty((periods_needed, 2 * count), dtype=np.int64)
+            stream[:, :count] = stream_a.reshape(periods_needed, count)
+            stream[:, count:] = stream_b.reshape(periods_needed, count)
+            if a_is_store == b_is_store:
+                is_write: bool | np.ndarray = a_is_store
+            else:
+                period_writes = np.empty(2 * count, dtype=bool)
+                period_writes[:count] = a_is_store
+                period_writes[count:] = b_is_store
+                is_write = np.tile(period_writes, periods_needed)
+            core.hierarchy.access_stream(stream.reshape(-1), is_write)
+        elif a_is_memory:
+            stream = sweep_address_stream(spec.sweep_a, spec.sweep_a.base, total)
+            core.hierarchy.access_stream(stream, a_is_store)
+        elif b_is_memory:
+            stream = sweep_address_stream(spec.sweep_b, spec.sweep_b.base, total)
+            core.hierarchy.access_stream(stream, b_is_store)
+        pointer_a = advance_pointer(spec.sweep_a.base, mask_a, offset_a, total)
+        pointer_b = advance_pointer(spec.sweep_b.base, mask_b, offset_b, total)
+        return pointer_a, pointer_b
+
+    pointer_a = spec.sweep_a.base
+    pointer_b = spec.sweep_b.base
+    access = core.hierarchy.access
 
     for _period in range(periods_needed):
         for _ in range(count):
-            pointer_a = (pointer_a & ~mask_a) | ((pointer_a + offset) & mask_a)
+            pointer_a = (pointer_a & ~mask_a) | ((pointer_a + offset_a) & mask_a)
             if a_is_memory:
                 access(pointer_a, a_is_store)
         for _ in range(count):
-            pointer_b = (pointer_b & ~mask_b) | ((pointer_b + offset) & mask_b)
+            pointer_b = (pointer_b & ~mask_b) | ((pointer_b + offset_b) & mask_b)
             if b_is_memory:
                 access(pointer_b, b_is_store)
     return pointer_a, pointer_b
@@ -218,8 +255,10 @@ def simulate_alternation_period(
     """
     from dataclasses import replace as dataclass_replace
 
+    simulated_plan = plan
     for _attempt in range(3):
         core = machine.make_core()
+        simulated_plan = plan
         spec = plan.spec
         program = build_alternation_program(spec)
         pointer_a, pointer_b = prime_alternation_steady_state(core, spec)
@@ -246,7 +285,11 @@ def simulate_alternation_period(
             spec=dataclass_replace(spec, inst_loop_count=retuned_count),
             predicted_frequency_hz=plan.target_frequency_hz,
         )
-    return trace, plan
+    # Retune attempts exhausted: the trace in hand was simulated with
+    # ``simulated_plan``, not the freshly re-tuned ``plan`` — return the
+    # plan that actually produced it so downstream pairs-per-second and
+    # frequency bookkeeping stay consistent with the trace.
+    return trace, simulated_plan
 
 
 def measure_savat(

@@ -170,6 +170,60 @@ class Cache:
             hit=False, evicted_line=evicted_line, evicted_dirty=evicted_dirty
         )
 
+    def access_block(self, addresses, is_write: bool) -> None:
+        """Batched :meth:`access`: identical state and statistics updates.
+
+        Vectorizes the set-index/tag arithmetic for a whole address
+        block with NumPy and runs the tag scan / LRU / fill bookkeeping
+        in one tight loop, discarding the per-access results.  Used by
+        the sweep pre-conditioning helpers, which only care about the
+        final cache state.  Misses allocate exactly as in :meth:`access`
+        (write-allocate; victims are simply dropped — propagating their
+        write-backs is the hierarchy's job, which this method is not a
+        substitute for).
+        """
+        import numpy as np
+
+        address_array = np.ascontiguousarray(addresses, dtype=np.int64)
+        line_ids = address_array // self.geometry.line_bytes
+        num_sets = self.geometry.num_sets
+        set_list = (line_ids % num_sets).tolist()
+        tag_list = (line_ids // num_sets).tolist()
+        ways = self.geometry.ways
+        sets = self._sets
+        stats = self.stats
+        accesses = hits = misses = evictions = dirty_evictions = fills = 0
+
+        for set_index, tag in zip(set_list, tag_list):
+            cache_set = sets[set_index]
+            accesses += 1
+            hit = False
+            for position, line in enumerate(cache_set):
+                if line.tag == tag:
+                    hits += 1
+                    if is_write:
+                        line.dirty = True
+                    cache_set.append(cache_set.pop(position))
+                    hit = True
+                    break
+            if hit:
+                continue
+            misses += 1
+            fills += 1
+            if len(cache_set) >= ways:
+                victim = cache_set.pop(0)
+                evictions += 1
+                if victim.dirty:
+                    dirty_evictions += 1
+            cache_set.append(_Line(tag, is_write))
+
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.dirty_evictions += dirty_evictions
+        stats.fills += fills
+
     def invalidate_all(self) -> None:
         """Drop every line (used between independent measurements)."""
         self._sets = [[] for _ in range(self.geometry.num_sets)]

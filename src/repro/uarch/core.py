@@ -40,11 +40,235 @@ from repro.uarch.activity import ActivityRecorder, ActivityTrace
 from repro.uarch.branch import BranchPredictor
 from repro.uarch.cache import CacheGeometry
 from repro.uarch.components import Component
+from repro.uarch.fastpath import fast_path_enabled
 from repro.uarch.functional_units import ActivityModel, FunctionalUnitTimings
 from repro.uarch.hierarchy import MemoryHierarchy, MemoryLatencies
 
 #: Default cap on executed instructions, as a runaway-loop backstop.
 DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+#: ALU opcodes accepted in a fast loop's test slot (immediate source).
+_FAST_TEST_ALU = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FastLoopTest:
+    """Recognized test-slot instruction of a fast loop (see Figure 4)."""
+
+    kind: str  # "load" | "store" | "alu" | "imul" | "idiv"
+    opcode: Opcode
+    dest_name: str | None
+    displacement: int
+    immediate: int
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class FastLoopPlan:
+    """Structural constants of one recognized alternation-style loop.
+
+    The plan captures everything the replay engine needs: the loop's pc
+    range, the registers it owns, the pointer-update constants, and the
+    (optional) test-slot descriptor.  It contains no per-core state, so
+    caching it on the :class:`~repro.isa.program.Program` is safe even
+    when the same program runs on differently-configured cores.
+    """
+
+    head_pc: int
+    jnz_pc: int
+    ptr_reg: str
+    scratch1: str
+    scratch2: str
+    loop_reg: str
+    offset: int
+    mask: int
+    test: FastLoopTest | None
+
+    @property
+    def body_len(self) -> int:
+        """Instructions per iteration (pointer update + test + dec/jnz)."""
+        return self.jnz_pc - self.head_pc + 1
+
+
+def _match_fast_test(
+    instruction: Instruction, ptr_reg: str, loop_reg: str
+) -> FastLoopTest | None:
+    """Recognize a test-slot instruction the replay engine can model."""
+    opcode = instruction.opcode
+    reserved = (ptr_reg, loop_reg)
+    if opcode is Opcode.LOAD:
+        dest = instruction.dest
+        src = instruction.src
+        if (
+            isinstance(dest, Register)
+            and dest.name not in reserved
+            and isinstance(src, MemoryOperand)
+            and src.base is not None
+            and src.base.name == ptr_reg
+            and src.index is None
+        ):
+            return FastLoopTest("load", opcode, dest.name, src.displacement, 0, False)
+        return None
+    if opcode is Opcode.STORE:
+        dest = instruction.dest
+        src = instruction.src
+        if (
+            isinstance(dest, MemoryOperand)
+            and dest.base is not None
+            and dest.base.name == ptr_reg
+            and dest.index is None
+            and isinstance(src, Immediate)
+        ):
+            return FastLoopTest(
+                "store", opcode, None, dest.displacement, src.value & WORD_MASK, True
+            )
+        return None
+    if opcode in _FAST_TEST_ALU or opcode is Opcode.IMUL:
+        dest = instruction.dest
+        if (
+            isinstance(dest, Register)
+            and dest.name not in reserved
+            and isinstance(instruction.src, Immediate)
+        ):
+            kind = "imul" if opcode is Opcode.IMUL else "alu"
+            return FastLoopTest(
+                kind, opcode, dest.name, 0, instruction.src.value & WORD_MASK, False
+            )
+        return None
+    if opcode is Opcode.IDIV:
+        dest = instruction.dest
+        # IDIV only *reads* its destination (the divisor); its writes hit
+        # the implicit eax/edx pair, which must not be loop-owned.
+        if (
+            isinstance(dest, Register)
+            and "eax" not in reserved
+            and "edx" not in reserved
+        ):
+            return FastLoopTest("idiv", opcode, dest.name, 0, 0, False)
+        return None
+    return None
+
+
+def _match_fast_loop(program: Program, head: int, jnz_pc: int) -> FastLoopPlan | None:
+    """Match the Figure 4 loop body between ``head`` and ``jnz_pc``."""
+    body = program.instructions[head : jnz_pc + 1]
+    if len(body) not in (8, 9):
+        return None
+    # Nothing may branch into the middle of the body.
+    if any(instruction.label is not None for instruction in body[1:]):
+        return None
+
+    lea, and1, mov1, and2, or1, mov2 = body[:6]
+    if lea.opcode is not Opcode.LEA or not isinstance(lea.dest, Register):
+        return None
+    src = lea.src
+    if not isinstance(src, MemoryOperand) or src.base is None or src.index is not None:
+        return None
+    scratch1 = lea.dest.name
+    ptr_reg = src.base.name
+    offset = src.displacement
+
+    if (
+        and1.opcode is not Opcode.AND
+        or not isinstance(and1.dest, Register)
+        or and1.dest.name != scratch1
+        or not isinstance(and1.src, Immediate)
+    ):
+        return None
+    mask = and1.src.value & WORD_MASK
+
+    if (
+        mov1.opcode is not Opcode.MOV
+        or not isinstance(mov1.dest, Register)
+        or not isinstance(mov1.src, Register)
+        or mov1.src.name != ptr_reg
+    ):
+        return None
+    scratch2 = mov1.dest.name
+
+    if (
+        and2.opcode is not Opcode.AND
+        or not isinstance(and2.dest, Register)
+        or and2.dest.name != scratch2
+        or not isinstance(and2.src, Immediate)
+        or (and2.src.value & WORD_MASK) != (mask ^ WORD_MASK)
+    ):
+        return None
+
+    if (
+        or1.opcode is not Opcode.OR
+        or not isinstance(or1.dest, Register)
+        or or1.dest.name != scratch2
+        or not isinstance(or1.src, Register)
+        or or1.src.name != scratch1
+    ):
+        return None
+
+    if (
+        mov2.opcode is not Opcode.MOV
+        or not isinstance(mov2.dest, Register)
+        or mov2.dest.name != ptr_reg
+        or not isinstance(mov2.src, Register)
+        or mov2.src.name != scratch2
+    ):
+        return None
+
+    if len({ptr_reg, scratch1, scratch2}) != 3:
+        return None
+
+    dec = body[-2]
+    if dec.opcode is not Opcode.DEC or not isinstance(dec.dest, Register):
+        return None
+    loop_reg = dec.dest.name
+    if loop_reg in (ptr_reg, scratch1, scratch2):
+        return None
+
+    test: FastLoopTest | None = None
+    if len(body) == 9:
+        test = _match_fast_test(body[6], ptr_reg, loop_reg)
+        if test is None:
+            return None
+
+    return FastLoopPlan(
+        head_pc=head,
+        jnz_pc=jnz_pc,
+        ptr_reg=ptr_reg,
+        scratch1=scratch1,
+        scratch2=scratch2,
+        loop_reg=loop_reg,
+        offset=offset,
+        mask=mask,
+        test=test,
+    )
+
+
+def _analyze_fast_loops(program: Program) -> dict[int, FastLoopPlan]:
+    """Find replayable Figure 4 loops in ``program`` (cached per program)."""
+    cached = getattr(program, "_fast_loop_plans", None)
+    if cached is not None:
+        return cached
+    plans: dict[int, FastLoopPlan] = {}
+    for jnz_pc, instruction in enumerate(program.instructions):
+        if instruction.opcode is not Opcode.JNZ:
+            continue
+        head = program.label_index(instruction.target)  # type: ignore[arg-type]
+        if head >= jnz_pc:
+            continue
+        plan = _match_fast_loop(program, head, jnz_pc)
+        if plan is not None:
+            plans[plan.head_pc] = plan
+    program._fast_loop_plans = plans  # type: ignore[attr-defined]
+    return plans
 
 
 @dataclass
@@ -154,6 +378,7 @@ class Core:
         program: Program,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         warm_hierarchy: bool = False,
+        fast_loops: bool | None = None,
     ) -> SimulationResult:
         """Execute ``program`` until HALT or falling off the end.
 
@@ -169,73 +394,304 @@ class Core:
             True to keep existing cache state — the measurement path
             runs a warm-up pass and then measures in steady state, like
             the paper's free-running alternation loop.
+        fast_loops:
+            Whether to replay recognized Figure 4 loops through the
+            memoizing fast engine (bit-identical results, far fewer
+            Python-level steps).  ``None`` (default) follows the global
+            :func:`repro.uarch.fastpath.fast_path_enabled` switch.
         """
         if not warm_hierarchy:
             self.hierarchy.reset()
         recorder = ActivityRecorder(self.clock_hz)
         stats = ExecutionStats()
-        timings = self.timings
-        activity = self.activity
         cycle = 0
         pc = 0
         program_length = len(program)
+        if fast_loops is None:
+            fast_loops = fast_path_enabled()
+        fast_bodies = _analyze_fast_loops(program) if fast_loops else {}
 
         while pc < program_length:
-            instruction = program[pc]
-            opcode = instruction.opcode
-            if opcode is Opcode.HALT:
+            if program[pc].opcode is Opcode.HALT:
                 break
             if stats.instructions >= max_instructions:
                 raise SimulationError(
                     f"program {program.name!r} exceeded {max_instructions} instructions; "
                     "missing halt or runaway loop?"
                 )
-
-            # Front-end work: identical for every instruction.
-            recorder.add(Component.FETCH, cycle, 1, activity.fetch)
-            recorder.add(Component.DECODE, cycle, 1, activity.decode)
-            recorder.add(Component.REGFILE, cycle, 1, activity.regfile)
-
-            next_pc = pc + 1
-            duration = self._execute(instruction, cycle, recorder, stats)
-            if instruction.is_branch:
-                taken = (
-                    opcode is Opcode.JMP
-                    or (opcode is Opcode.JNZ and not self.zero_flag)
-                    or (opcode is Opcode.JZ and self.zero_flag)
-                )
-                if taken:
-                    next_pc = program.label_index(instruction.target)  # type: ignore[arg-type]
-                recorder.add(Component.BPRED, cycle, 1, activity.bpred_lookup)
-                if opcode is not Opcode.JMP:  # conditional: direction predicted
-                    mispredicted = self.predictor.record(pc, taken)
-                    if mispredicted:
-                        penalty = timings.branch_mispredict_cycles
-                        duration += penalty
-                        # Flush and refetch: the front end replays work.
-                        recorder.add(
-                            Component.FETCH,
-                            cycle + 1,
-                            penalty,
-                            activity.flush_refetch / penalty,
-                        )
-                        recorder.add(
-                            Component.DECODE,
-                            cycle + 1,
-                            penalty,
-                            activity.flush_refetch / penalty,
-                        )
-
-            stats.instructions += 1
-            stats.count_opcode(opcode)
-            if instruction.role == "test":
-                stats.test_instructions += 1
+            if fast_bodies:
+                plan = fast_bodies.get(pc)
+                if plan is not None and self.registers[plan.loop_reg] >= 1:
+                    cycle, pc = self._run_fast_loop(
+                        program, plan, cycle, recorder, stats, max_instructions
+                    )
+                    continue
+            duration, pc = self._step_instruction(program, pc, cycle, recorder, stats)
             cycle += duration
-            pc = next_pc
 
         stats.cycles = cycle
         trace = recorder.finish(max(cycle, 1))
         return SimulationResult(trace=trace, stats=stats, registers=dict(self.registers))
+
+    def _step_instruction(
+        self,
+        program: Program,
+        pc: int,
+        cycle: int,
+        recorder: ActivityRecorder,
+        stats: ExecutionStats,
+    ) -> tuple[int, int]:
+        """Execute the instruction at ``pc``; return (duration, next pc).
+
+        This is the reference per-instruction step: front-end activity,
+        execution semantics, branch prediction, and statistics.  Both the
+        plain interpreter loop and the fast-loop engine (when recording a
+        template iteration or falling back near ``max_instructions``) go
+        through it, so the two paths share one definition of behaviour.
+        """
+        instruction = program[pc]
+        opcode = instruction.opcode
+        activity = self.activity
+
+        # Front-end work: identical for every instruction.
+        recorder.add(Component.FETCH, cycle, 1, activity.fetch)
+        recorder.add(Component.DECODE, cycle, 1, activity.decode)
+        recorder.add(Component.REGFILE, cycle, 1, activity.regfile)
+
+        next_pc = pc + 1
+        duration = self._execute(instruction, cycle, recorder, stats)
+        if instruction.is_branch:
+            taken = (
+                opcode is Opcode.JMP
+                or (opcode is Opcode.JNZ and not self.zero_flag)
+                or (opcode is Opcode.JZ and self.zero_flag)
+            )
+            if taken:
+                next_pc = program.label_index(instruction.target)  # type: ignore[arg-type]
+            recorder.add(Component.BPRED, cycle, 1, activity.bpred_lookup)
+            if opcode is not Opcode.JMP:  # conditional: direction predicted
+                mispredicted = self.predictor.record(pc, taken)
+                if mispredicted:
+                    penalty = self.timings.branch_mispredict_cycles
+                    duration += penalty
+                    # Flush and refetch: the front end replays work.
+                    recorder.add(
+                        Component.FETCH,
+                        cycle + 1,
+                        penalty,
+                        activity.flush_refetch / penalty,
+                    )
+                    recorder.add(
+                        Component.DECODE,
+                        cycle + 1,
+                        penalty,
+                        activity.flush_refetch / penalty,
+                    )
+
+        stats.instructions += 1
+        stats.count_opcode(opcode)
+        if instruction.role == "test":
+            stats.test_instructions += 1
+        return duration, next_pc
+
+    def _run_fast_loop(
+        self,
+        program: Program,
+        plan: FastLoopPlan,
+        cycle: int,
+        recorder: ActivityRecorder,
+        stats: ExecutionStats,
+        max_instructions: int,
+    ) -> tuple[int, int]:
+        """Replay all iterations of a recognized loop; return (cycle, pc).
+
+        The first occurrence of each distinct iteration behaviour — the
+        constant pointer-update prologue, each cache-outcome signature of
+        the test slot, each predicted/mispredicted branch epilogue — runs
+        through :meth:`_step_instruction` between recorder marks and is
+        captured as an :class:`~repro.uarch.activity.ActivityBlock`
+        template.  Every later iteration deposits the matching templates
+        in bulk and applies the architectural effects in closed form.
+        The cache hierarchy is consulted and the branch predictor updated
+        exactly once per iteration on both paths, so microarchitectural
+        state, statistics, and the recorded event multiset are identical
+        to stepping every instruction.
+        """
+        registers = self.registers
+        predictor = self.predictor
+        memory = self.memory
+        activity = self.activity
+        hierarchy = self.hierarchy
+        ptr_reg = plan.ptr_reg
+        loop_reg = plan.loop_reg
+        mask = plan.mask
+        inv_mask = mask ^ WORD_MASK
+        offset = plan.offset
+        test = plan.test
+        body_len = plan.body_len
+        head_pc = plan.head_pc
+        dec_pc = plan.jnz_pc - 1
+        jnz_pc = plan.jnz_pc
+        exit_pc = jnz_pc + 1
+
+        update_template: tuple | None = None
+        test_template: tuple | None = None  # non-memory test slot
+        memory_memo: dict[tuple, tuple] = {}  # cache-outcome signature -> template
+        branch_memo: dict[bool, tuple] = {}  # mispredicted? -> template
+
+        total = registers[loop_reg]
+        for index in range(total):
+            if stats.instructions + body_len > max_instructions:
+                # Not enough budget for a whole replayed iteration: step
+                # the rest of the loop one instruction at a time so the
+                # backstop raises at exactly the same instruction as the
+                # reference interpreter.
+                pc = head_pc
+                while True:
+                    if stats.instructions >= max_instructions:
+                        raise SimulationError(
+                            f"program {program.name!r} exceeded {max_instructions} "
+                            "instructions; missing halt or runaway loop?"
+                        )
+                    duration, pc = self._step_instruction(
+                        program, pc, cycle, recorder, stats
+                    )
+                    cycle += duration
+                    if pc == exit_pc:
+                        return cycle, pc
+
+            # --- Segment 1: the six-instruction pointer update -------
+            if update_template is None:
+                mark = recorder.mark()
+                base = cycle
+                pc = head_pc
+                while pc < head_pc + 6:
+                    duration, pc = self._step_instruction(
+                        program, pc, cycle, recorder, stats
+                    )
+                    cycle += duration
+                update_template = (recorder.extract_block(mark, base), cycle - base)
+            else:
+                block, duration = update_template
+                recorder.add_block(block, cycle)
+                cycle += duration
+                pointer = registers[ptr_reg]
+                low = (pointer + offset) & mask
+                new_pointer = (pointer & inv_mask) | low
+                registers[plan.scratch1] = low
+                registers[plan.scratch2] = new_pointer
+                registers[ptr_reg] = new_pointer
+                stats.instructions += 6
+                counts = stats.opcode_counts
+                counts[Opcode.LEA] = counts.get(Opcode.LEA, 0) + 1
+                counts[Opcode.AND] = counts.get(Opcode.AND, 0) + 2
+                counts[Opcode.MOV] = counts.get(Opcode.MOV, 0) + 2
+                counts[Opcode.OR] = counts.get(Opcode.OR, 0) + 1
+
+            # --- Segment 2: the test slot ----------------------------
+            if test is not None:
+                kind = test.kind
+                if kind in ("load", "store"):
+                    is_write = test.is_write
+                    address = (registers[ptr_reg] + test.displacement) & WORD_MASK
+                    report = hierarchy.access(address, is_write)
+                    signature = (
+                        report.level,
+                        report.l2_accesses,
+                        report.offchip_transfers,
+                    )
+                    entry = memory_memo.get(signature)
+                    if entry is None:
+                        mark = recorder.mark()
+                        recorder.add(Component.FETCH, cycle, 1, activity.fetch)
+                        recorder.add(Component.DECODE, cycle, 1, activity.decode)
+                        recorder.add(Component.REGFILE, cycle, 1, activity.regfile)
+                        recorder.add(Component.AGU, cycle, 1, activity.agu_op)
+                        recorder.add(Component.L1D, cycle, 1, activity.l1_access)
+                        if is_write:
+                            recorder.add(Component.WB_BUFFER, cycle, 1, activity.wb_buffer)
+                        duration = self._memory_access_events(
+                            report, cycle, recorder, stats
+                        )
+                        memory_memo[signature] = (
+                            recorder.extract_block(mark, cycle),
+                            duration,
+                        )
+                    else:
+                        block, duration = entry
+                        recorder.add_block(block, cycle)
+                        stats.count_level(report.level)
+                    cycle += duration
+                    if is_write:
+                        memory[address] = test.immediate
+                    else:
+                        registers[test.dest_name] = memory.get(address, 0)
+                    stats.instructions += 1
+                    stats.count_opcode(test.opcode)
+                    stats.test_instructions += 1
+                else:
+                    if test_template is None:
+                        mark = recorder.mark()
+                        duration, _ = self._step_instruction(
+                            program, head_pc + 6, cycle, recorder, stats
+                        )
+                        test_template = (recorder.extract_block(mark, cycle), duration)
+                        cycle += duration
+                    else:
+                        block, duration = test_template
+                        recorder.add_block(block, cycle)
+                        cycle += duration
+                        if kind == "alu":
+                            registers[test.dest_name] = self._alu(
+                                test.opcode, registers[test.dest_name], test.immediate
+                            )
+                        elif kind == "imul":
+                            registers[test.dest_name] = (
+                                registers[test.dest_name] * test.immediate
+                            ) & WORD_MASK
+                        else:  # idiv
+                            divisor = registers[test.dest_name]
+                            if divisor == 0:
+                                divisor = 1
+                            dividend = registers["eax"]
+                            registers["eax"] = (dividend // divisor) & WORD_MASK
+                            registers["edx"] = (dividend % divisor) & WORD_MASK
+                        stats.instructions += 1
+                        stats.count_opcode(test.opcode)
+                        stats.test_instructions += 1
+
+            # --- Segment 3: dec + jnz --------------------------------
+            taken = index != total - 1
+            mispredicted = predictor.predict(jnz_pc) != taken
+            entry = branch_memo.get(mispredicted)
+            if entry is None:
+                mark = recorder.mark()
+                base = cycle
+                duration, _ = self._step_instruction(program, dec_pc, cycle, recorder, stats)
+                cycle += duration
+                duration, _ = self._step_instruction(program, jnz_pc, cycle, recorder, stats)
+                cycle += duration
+                branch_memo[mispredicted] = (
+                    recorder.extract_block(mark, base),
+                    cycle - base,
+                )
+            else:
+                # The predictor is consulted and trained exactly once per
+                # iteration on either path; here the template replay
+                # supplies the activity and this call supplies the update.
+                predictor.record(jnz_pc, taken)
+                block, duration = entry
+                recorder.add_block(block, cycle)
+                cycle += duration
+                remaining = (registers[loop_reg] - 1) & WORD_MASK
+                registers[loop_reg] = remaining
+                self.zero_flag = remaining == 0
+                stats.instructions += 2
+                counts = stats.opcode_counts
+                counts[Opcode.DEC] = counts.get(Opcode.DEC, 0) + 1
+                counts[Opcode.JNZ] = counts.get(Opcode.JNZ, 0) + 1
+
+        return cycle, exit_pc
 
     def _execute(
         self,
@@ -368,7 +824,6 @@ class Core:
         is_write: bool,
     ) -> int:
         activity = self.activity
-        latencies = self.hierarchy.latencies
         operand = instruction.dest if is_write else instruction.src
         if not isinstance(operand, MemoryOperand):
             raise SimulationError(f"memory instruction without memory operand: {instruction}")
@@ -380,43 +835,62 @@ class Core:
             recorder.add(Component.WB_BUFFER, cycle, 1, activity.wb_buffer)
 
         report = self.hierarchy.access(address, is_write)
-        stats.count_level(report.level)
-
-        if report.level == "L1":
-            duration = 1  # pipelined L1 hit
-        else:
-            # Fill activity into L1 plus L2 array activity, spread over
-            # the L2 access window.
-            recorder.add(Component.L1D, cycle, 1, activity.l1_fill)
-            l2_window = max(latencies.l2_cycles, 1)
-            for access_index in range(report.l2_accesses):
-                recorder.add(
-                    Component.L2,
-                    cycle + access_index,
-                    l2_window,
-                    activity.l2_access / l2_window,
-                )
-            duration = latencies.l2_cycles
-            if report.level == "MEM":
-                duration = latencies.memory_cycles
-            if report.offchip_transfers:
-                bus_window = max(latencies.memory_cycles // 2, 1)
-                recorder.add(
-                    Component.MEM_BUS,
-                    cycle,
-                    bus_window,
-                    report.offchip_transfers * activity.bus_per_transfer / bus_window,
-                )
-                recorder.add(
-                    Component.DRAM,
-                    cycle,
-                    bus_window,
-                    report.offchip_transfers * activity.dram_per_transfer / bus_window,
-                )
+        duration = self._memory_access_events(report, cycle, recorder, stats)
 
         # Architectural data movement.
         if is_write:
             self.memory[address] = self._read(instruction.src) & WORD_MASK
         else:
             self._write_register(instruction.dest, self.memory.get(address, 0))
+        return duration
+
+    def _memory_access_events(
+        self,
+        report,
+        cycle: int,
+        recorder: ActivityRecorder,
+        stats: ExecutionStats,
+    ) -> int:
+        """Record the level-dependent activity of one hierarchy access.
+
+        Shared by the reference interpreter (:meth:`_execute_memory`) and
+        the fast-loop engine, which captures the emitted events as a
+        per-cache-outcome template; everything here depends only on the
+        access report, never on the absolute cycle.
+        """
+        activity = self.activity
+        latencies = self.hierarchy.latencies
+        stats.count_level(report.level)
+
+        if report.level == "L1":
+            return 1  # pipelined L1 hit
+
+        # Fill activity into L1 plus L2 array activity, spread over
+        # the L2 access window.
+        recorder.add(Component.L1D, cycle, 1, activity.l1_fill)
+        l2_window = max(latencies.l2_cycles, 1)
+        for access_index in range(report.l2_accesses):
+            recorder.add(
+                Component.L2,
+                cycle + access_index,
+                l2_window,
+                activity.l2_access / l2_window,
+            )
+        duration = latencies.l2_cycles
+        if report.level == "MEM":
+            duration = latencies.memory_cycles
+        if report.offchip_transfers:
+            bus_window = max(latencies.memory_cycles // 2, 1)
+            recorder.add(
+                Component.MEM_BUS,
+                cycle,
+                bus_window,
+                report.offchip_transfers * activity.bus_per_transfer / bus_window,
+            )
+            recorder.add(
+                Component.DRAM,
+                cycle,
+                bus_window,
+                report.offchip_transfers * activity.dram_per_transfer / bus_window,
+            )
         return duration

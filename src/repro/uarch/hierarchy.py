@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.uarch.cache import Cache, CacheGeometry
+from repro.uarch.cache import Cache, CacheGeometry, _Line
 
 
 @dataclass(frozen=True)
@@ -139,6 +141,156 @@ class MemoryHierarchy:
             l1_writeback=l1_writeback,
             l2_writeback=l2_writeback,
         )
+
+    def access_stream(self, addresses, is_write) -> None:
+        """Replay a whole address stream through the hierarchy, batched.
+
+        Performs exactly the same state transitions and statistics
+        updates as calling :meth:`access` once per element — the final
+        L1/L2 contents (tags, dirty bits, LRU order), all cache
+        counters, and ``offchip_accesses`` are bit-identical — but the
+        per-access set-index/tag arithmetic is vectorized up front with
+        NumPy and the remaining bookkeeping runs in one tight loop with
+        no per-access report objects.  The sweep-priming fast path uses
+        this to collapse millions of warm-up accesses.
+
+        Parameters
+        ----------
+        addresses:
+            Byte addresses, any integer sequence or 1-D integer array.
+        is_write:
+            A single bool applied to every access, or a boolean sequence
+            of the same length as ``addresses``.
+        """
+        address_array = np.ascontiguousarray(addresses, dtype=np.int64)
+        if address_array.ndim != 1:
+            raise ConfigurationError("access_stream expects a 1-D address stream")
+        count = address_array.shape[0]
+        if count == 0:
+            return
+        if isinstance(is_write, (bool, np.bool_)):
+            writes = [bool(is_write)] * count
+        else:
+            write_array = np.ascontiguousarray(is_write, dtype=bool)
+            if write_array.shape != (count,):
+                raise ConfigurationError(
+                    "is_write must be a bool or match the address stream length"
+                )
+            writes = write_array.tolist()
+
+        line = self.l1_geometry.line_bytes
+        n1 = self.l1_geometry.num_sets
+        n2 = self.l2_geometry.num_sets
+        ways1 = self.l1_geometry.ways
+        ways2 = self.l2_geometry.ways
+
+        line_ids = address_array // line
+        l1_set_list = (line_ids % n1).tolist()
+        l1_tag_list = (line_ids // n1).tolist()
+        l2_set_list = (line_ids % n2).tolist()
+        l2_tag_list = (line_ids // n2).tolist()
+
+        l1_sets = self.l1._sets
+        l2_sets = self.l2._sets
+        l1_stats = self.l1.stats
+        l2_stats = self.l2.stats
+        l1_accesses = l1_hits = l1_misses = 0
+        l1_evictions = l1_dirty_evictions = l1_fills = 0
+        l2_accesses = l2_hits = l2_misses = 0
+        l2_evictions = l2_dirty_evictions = l2_fills = 0
+        offchip = 0
+
+        for s1, t1, s2, t2, write in zip(
+            l1_set_list, l1_tag_list, l2_set_list, l2_tag_list, writes
+        ):
+            # --- L1 access (mirror of Cache.access) ---
+            cache_set = l1_sets[s1]
+            l1_accesses += 1
+            hit = False
+            for position, entry in enumerate(cache_set):
+                if entry.tag == t1:
+                    l1_hits += 1
+                    if write:
+                        entry.dirty = True
+                    cache_set.append(cache_set.pop(position))
+                    hit = True
+                    break
+            if hit:
+                continue
+            l1_misses += 1
+            l1_fills += 1
+            victim_dirty = False
+            victim_line_id = -1
+            if len(cache_set) >= ways1:
+                victim = cache_set.pop(0)
+                l1_evictions += 1
+                victim_dirty = victim.dirty
+                if victim_dirty:
+                    l1_dirty_evictions += 1
+                    victim_line_id = victim.tag * n1 + s1
+            cache_set.append(_Line(t1, write))
+
+            # --- Dirty L1 victim written back into L2 before the fill
+            # (same order as MemoryHierarchy.access) ---
+            if victim_dirty:
+                vs2 = victim_line_id % n2
+                vt2 = victim_line_id // n2
+                victim_set = l2_sets[vs2]
+                l2_accesses += 1
+                wb_hit = False
+                for position, entry in enumerate(victim_set):
+                    if entry.tag == vt2:
+                        l2_hits += 1
+                        entry.dirty = True
+                        victim_set.append(victim_set.pop(position))
+                        wb_hit = True
+                        break
+                if not wb_hit:
+                    l2_misses += 1
+                    l2_fills += 1
+                    if len(victim_set) >= ways2:
+                        l2_victim = victim_set.pop(0)
+                        l2_evictions += 1
+                        if l2_victim.dirty:
+                            l2_dirty_evictions += 1
+                            offchip += 1
+                    victim_set.append(_Line(vt2, True))
+
+            # --- Demand fill from L2 (or beyond); demand is a read ---
+            demand_set = l2_sets[s2]
+            l2_accesses += 1
+            demand_hit = False
+            for position, entry in enumerate(demand_set):
+                if entry.tag == t2:
+                    l2_hits += 1
+                    demand_set.append(demand_set.pop(position))
+                    demand_hit = True
+                    break
+            if not demand_hit:
+                l2_misses += 1
+                l2_fills += 1
+                offchip += 1
+                if len(demand_set) >= ways2:
+                    l2_victim = demand_set.pop(0)
+                    l2_evictions += 1
+                    if l2_victim.dirty:
+                        l2_dirty_evictions += 1
+                        offchip += 1
+                demand_set.append(_Line(t2, False))
+
+        l1_stats.accesses += l1_accesses
+        l1_stats.hits += l1_hits
+        l1_stats.misses += l1_misses
+        l1_stats.evictions += l1_evictions
+        l1_stats.dirty_evictions += l1_dirty_evictions
+        l1_stats.fills += l1_fills
+        l2_stats.accesses += l2_accesses
+        l2_stats.hits += l2_hits
+        l2_stats.misses += l2_misses
+        l2_stats.evictions += l2_evictions
+        l2_stats.dirty_evictions += l2_dirty_evictions
+        l2_stats.fills += l2_fills
+        self.offchip_accesses += offchip
 
     def warm(self, addresses: list[int], is_write: bool) -> None:
         """Touch ``addresses`` once each to pre-condition cache state.

@@ -1,0 +1,98 @@
+"""Batched hierarchy replay vs the scalar access loop.
+
+``MemoryHierarchy.access_stream`` and ``Cache.access_block`` exist only
+as faster spellings of a loop over ``access``; these tests check that
+random streams leave both implementations in byte-for-byte identical
+states (tags, dirty bits, LRU order, every counter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.cache import Cache, CacheGeometry
+from repro.uarch.hierarchy import MemoryHierarchy
+
+
+L1 = CacheGeometry(size_bytes=1024, ways=2, line_bytes=64)
+L2 = CacheGeometry(size_bytes=4096, ways=4, line_bytes=64)
+
+
+def cache_state(cache):
+    return (
+        tuple(
+            tuple((line.tag, line.dirty) for line in cache_set)
+            for cache_set in cache._sets
+        ),
+        vars(cache.stats).copy(),
+    )
+
+
+def hierarchy_state(hierarchy):
+    return (
+        cache_state(hierarchy.l1),
+        cache_state(hierarchy.l2),
+        hierarchy.offchip_accesses,
+    )
+
+
+class TestAccessStream:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_stream_matches_scalar_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        addresses = rng.integers(0, 16384, size=600) * 4
+        writes = rng.random(600) < 0.4
+
+        batched = MemoryHierarchy(L1, L2)
+        batched.access_stream(addresses, writes)
+
+        scalar = MemoryHierarchy(L1, L2)
+        for address, write in zip(addresses.tolist(), writes.tolist()):
+            scalar.access(address, write)
+
+        assert hierarchy_state(batched) == hierarchy_state(scalar)
+
+    def test_scalar_write_flag_broadcasts(self):
+        addresses = np.arange(0, 8192, 64)
+        batched = MemoryHierarchy(L1, L2)
+        batched.access_stream(addresses, True)
+
+        scalar = MemoryHierarchy(L1, L2)
+        for address in addresses.tolist():
+            scalar.access(address, True)
+
+        assert hierarchy_state(batched) == hierarchy_state(scalar)
+
+    def test_empty_stream_is_a_no_op(self):
+        hierarchy = MemoryHierarchy(L1, L2)
+        hierarchy.access_stream(np.array([], dtype=np.int64), False)
+        assert hierarchy.l1.stats.accesses == 0
+        assert hierarchy.l2.stats.accesses == 0
+
+    def test_rejects_non_1d_stream(self):
+        hierarchy = MemoryHierarchy(L1, L2)
+        with pytest.raises(ConfigurationError):
+            hierarchy.access_stream(np.zeros((2, 2), dtype=np.int64), False)
+
+    def test_rejects_mismatched_write_flags(self):
+        hierarchy = MemoryHierarchy(L1, L2)
+        with pytest.raises(ConfigurationError):
+            hierarchy.access_stream(np.zeros(4, dtype=np.int64), np.zeros(3, dtype=bool))
+
+
+class TestCacheAccessBlock:
+    @pytest.mark.parametrize("is_write", (False, True))
+    def test_block_matches_scalar_accesses(self, is_write):
+        rng = np.random.default_rng(7)
+        addresses = (rng.integers(0, 512, size=300) * 64).tolist()
+
+        batched = Cache(L1)
+        batched.access_block(addresses, is_write)
+
+        scalar = Cache(L1)
+        for address in addresses:
+            scalar.access(address, is_write)
+
+        assert cache_state(batched) == cache_state(scalar)

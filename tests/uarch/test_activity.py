@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import SimulationError
-from repro.uarch.activity import ActivityRecorder, ActivityTrace
+from repro.uarch.activity import ActivityBlock, ActivityRecorder, ActivityTrace
 from repro.uarch.components import Component, COMPONENT_INDEX, NUM_COMPONENTS
 
 
@@ -45,6 +45,77 @@ class TestActivityRecorder:
     def test_bad_clock_rejected(self):
         with pytest.raises(SimulationError):
             ActivityRecorder(clock_hz=0)
+
+
+class TestActivityBlocks:
+    def test_extract_and_replay_matches_scalar_adds(self):
+        """Replaying a block is bit-identical to re-adding its events."""
+        template = ActivityRecorder(clock_hz=1e9)
+        mark = template.mark()
+        template.add(Component.ALU, 10, 1, 0.7)
+        template.add(Component.FETCH, 10, 1, 1.1)
+        template.add(Component.L2, 11, 14, 0.3)
+        block = template.extract_block(mark, base_cycle=10)
+        assert block.num_events == 3
+
+        replayed = ActivityRecorder(clock_hz=1e9)
+        replayed.add_block(block, 0)
+        replayed.add_block(block, 5)
+        replayed.add_block(block, 20)
+
+        scalar = ActivityRecorder(clock_hz=1e9)
+        for base in (0, 5, 20):
+            scalar.add(Component.ALU, base, 1, 0.7)
+            scalar.add(Component.FETCH, base, 1, 1.1)
+            scalar.add(Component.L2, base + 1, 14, 0.3)
+
+        fast = replayed.finish(40)
+        reference = scalar.finish(40)
+        assert np.array_equal(fast.data, reference.data)
+
+    def test_mark_extract_leaves_events_in_place(self):
+        recorder = ActivityRecorder(clock_hz=1e9)
+        recorder.add(Component.ALU, 0, 1, 1.0)
+        mark = recorder.mark()
+        recorder.add(Component.DIV, 3, 2, 0.5)
+        block = recorder.extract_block(mark, base_cycle=3)
+        assert block.num_events == 1
+        assert list(block.offsets) == [0]
+        trace = recorder.finish(8)
+        assert trace.component(Component.DIV).sum() == pytest.approx(1.0)
+
+    def test_negative_block_offset_rejected(self):
+        recorder = ActivityRecorder(clock_hz=1e9)
+        mark = recorder.mark()
+        recorder.add(Component.ALU, 2, 1, 1.0)
+        with pytest.raises(SimulationError):
+            recorder.extract_block(mark, base_cycle=5)
+
+    def test_mismatched_block_shapes_rejected(self):
+        with pytest.raises(SimulationError):
+            ActivityBlock(
+                components=np.array([0, 1]),
+                offsets=np.array([0]),
+                durations=np.array([1, 1]),
+                amounts=np.array([1.0, 1.0]),
+            )
+
+    def test_finish_is_insertion_order_independent(self):
+        """The materialized trace depends only on the event multiset."""
+        events = [
+            (Component.ALU, 0, 1, 0.1),
+            (Component.ALU, 0, 1, 0.3),
+            (Component.ALU, 0, 3, 0.7),
+            (Component.DRAM, 2, 5, 0.011),
+            (Component.ALU, 1, 1, 0.9),
+        ]
+        forward = ActivityRecorder(clock_hz=1e9)
+        for event in events:
+            forward.add(*event)
+        backward = ActivityRecorder(clock_hz=1e9)
+        for event in reversed(events):
+            backward.add(*event)
+        assert np.array_equal(forward.finish(8).data, backward.finish(8).data)
 
 
 class TestActivityTrace:
