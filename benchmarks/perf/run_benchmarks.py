@@ -15,8 +15,9 @@ Results are written to ``BENCH_simulation.json``.  With ``--campaign``
 the cold, cache-disabled, serial Figure 9-sized campaign (11x11 events,
 2 repetitions, seed 2014) is also run and compared against the pre-PR
 baseline measured on the same container.  With ``--check`` the cold
-single-cell latencies are compared against a checked-in baseline and
-the process exits non-zero on a >2x regression.
+single-cell and priming-only latencies are compared against a
+checked-in baseline and the process exits non-zero on a >1.5x
+regression.
 
 Usage (from the repository root):
 
@@ -60,9 +61,11 @@ PRE_PR_CAMPAIGN_CHECKSUM = 768.9661831795673
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simulation.json"
 DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
 
-#: Regression threshold for --check: fail when a cold single-cell fast
-#: latency exceeds the baseline by more than this factor.
-REGRESSION_FACTOR = 2.0
+#: Regression threshold for --check: fail when a cold single-cell or
+#: priming-only fast latency exceeds the baseline by more than this
+#: factor.  Best-of-N timings on an otherwise idle container are stable
+#: to a few percent, so 1.5x catches real regressions without flaking.
+REGRESSION_FACTOR = 1.5
 
 
 def _timed(callable_, repeats: int = 1) -> float:
@@ -221,10 +224,11 @@ def run(args) -> int:
 
     if args.update_baseline:
         baseline = {
-            "cold_cell": {
+            stage: {
                 pair: {"fast_s": numbers["fast_s"]}
-                for pair, numbers in results["cold_cell"].items()
+                for pair, numbers in results[stage].items()
             }
+            for stage in ("cold_cell", "priming")
         }
         DEFAULT_BASELINE.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n"
@@ -234,17 +238,18 @@ def run(args) -> int:
     if args.check is not None:
         baseline = json.loads(pathlib.Path(args.check).read_text())
         failed = False
-        for pair, numbers in baseline["cold_cell"].items():
-            allowed = numbers["fast_s"] * REGRESSION_FACTOR
-            measured = results["cold_cell"][pair]["fast_s"]
-            status = "ok" if measured <= allowed else "REGRESSION"
-            print(
-                f"check {pair}: {measured:.3f}s vs baseline "
-                f"{numbers['fast_s']:.3f}s (allowed {allowed:.3f}s) -> {status}"
-            )
-            failed = failed or measured > allowed
+        for stage in ("cold_cell", "priming"):
+            for pair, numbers in baseline.get(stage, {}).items():
+                allowed = numbers["fast_s"] * REGRESSION_FACTOR
+                measured = results[stage][pair]["fast_s"]
+                status = "ok" if measured <= allowed else "REGRESSION"
+                print(
+                    f"check {stage} {pair}: {measured:.3f}s vs baseline "
+                    f"{numbers['fast_s']:.3f}s (allowed {allowed:.3f}s) -> {status}"
+                )
+                failed = failed or measured > allowed
         if failed:
-            print("FAIL: cold single-cell latency regressed more than "
+            print("FAIL: fast-path latency regressed more than "
                   f"{REGRESSION_FACTOR}x over the baseline")
             return 1
     return 0
@@ -266,8 +271,8 @@ def main() -> int:
     )
     parser.add_argument(
         "--check", metavar="BASELINE.JSON", default=None,
-        help="fail (exit 1) if cold single-cell fast latency regresses "
-        f">{REGRESSION_FACTOR}x vs the given baseline",
+        help="fail (exit 1) if cold single-cell or priming fast latency "
+        f"regresses >{REGRESSION_FACTOR}x vs the given baseline",
     )
     parser.add_argument(
         "--update-baseline", action="store_true",

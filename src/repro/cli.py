@@ -117,6 +117,15 @@ def _command_campaign(args: argparse.Namespace) -> int:
             f"{execution['cache_misses']} miss(es), "
             f"{execution['cells_simulated']} cell(s) simulated"
         )
+        phase_totals = execution.get("phase_seconds") or {}
+        if phase_totals:
+            breakdown = ", ".join(
+                f"{name} {seconds:.1f} s"
+                for name, seconds in sorted(
+                    phase_totals.items(), key=lambda item: -item[1]
+                )
+            )
+            print(f"simulation time by phase: {breakdown}")
     return 0
 
 

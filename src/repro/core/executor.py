@@ -43,6 +43,7 @@ from repro.core.savat import (
     MeasurementConfig,
     _plan_pair,
     measure_savat,
+    record_phase_seconds,
     simulate_alternation_period,
 )
 from repro.errors import ConfigurationError
@@ -102,6 +103,11 @@ class CampaignStats:
     cell_seconds:
         Per-cell simulation time keyed by ``"A/B"`` (cache hits record
         their load time, effectively ~0).
+    cell_phase_seconds:
+        Per-cell pipeline breakdown keyed by ``"A/B"``: seconds spent
+        in the ``prime`` / ``core_run`` / ``synthesize`` / ``analyze``
+        phases (see :func:`repro.core.savat.record_phase_seconds`).
+        Cache hits record no phases.
     """
 
     cache_hits: int = 0
@@ -110,10 +116,29 @@ class CampaignStats:
     workers: int = 1
     wall_seconds: float = 0.0
     cell_seconds: dict[str, float] = field(default_factory=dict)
+    cell_phase_seconds: dict[str, dict[str, float]] = field(default_factory=dict)
 
-    def record_cell(self, event_a: str, event_b: str, elapsed_s: float) -> None:
-        """Record one finished cell's timing."""
+    def record_cell(
+        self,
+        event_a: str,
+        event_b: str,
+        elapsed_s: float,
+        phase_seconds: dict[str, float] | None = None,
+    ) -> None:
+        """Record one finished cell's timing (and optional phase split)."""
         self.cell_seconds[f"{event_a}/{event_b}"] = float(elapsed_s)
+        if phase_seconds:
+            self.cell_phase_seconds[f"{event_a}/{event_b}"] = {
+                name: float(seconds) for name, seconds in phase_seconds.items()
+            }
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Campaign-wide totals of the per-cell phase breakdown."""
+        totals: dict[str, float] = {}
+        for phases in self.cell_phase_seconds.values():
+            for name, seconds in phases.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
 
     def as_metadata(self) -> dict:
         """JSON-ready summary stored in ``SavatMatrix.metadata``."""
@@ -124,6 +149,11 @@ class CampaignStats:
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "cell_seconds": dict(self.cell_seconds),
+            "cell_phase_seconds": {
+                pair: dict(phases)
+                for pair, phases in self.cell_phase_seconds.items()
+            },
+            "phase_seconds": self.phase_seconds(),
         }
 
 
@@ -255,6 +285,7 @@ def simulate_cell(
     repetitions: int,
     seed_sequence: np.random.SeedSequence,
     plan: FrequencyPlan | None = None,
+    phase_seconds: dict[str, float] | None = None,
 ) -> np.ndarray:
     """Simulate one (A, B) cell: plan, trace, and all repetitions.
 
@@ -267,22 +298,27 @@ def simulate_cell(
     every cell) instead of each worker re-probing from a cold cache;
     the plan is a pure function of machine, pair, and frequency, so the
     results are identical either way.
+
+    ``phase_seconds`` (when given) accumulates the cell's pipeline
+    breakdown — prime / core_run / synthesize / analyze seconds.
     """
     rng = np.random.default_rng(seed_sequence)
     if plan is None:
         plan = _plan_pair(machine, event_a, event_b, config.alternation_frequency_hz)
-    trace, plan = simulate_alternation_period(machine, plan)
-    samples = np.empty(repetitions, dtype=np.float64)
-    for repetition in range(repetitions):
-        samples[repetition] = measure_savat(
-            machine,
-            event_a,
-            event_b,
-            config=config,
-            rng=rng,
-            trace=trace,
-            plan=plan,
-        ).savat_zj
+    sink = phase_seconds if phase_seconds is not None else {}
+    with record_phase_seconds(sink):
+        trace, plan = simulate_alternation_period(machine, plan)
+        samples = np.empty(repetitions, dtype=np.float64)
+        for repetition in range(repetitions):
+            samples[repetition] = measure_savat(
+                machine,
+                event_a,
+                event_b,
+                config=config,
+                rng=rng,
+                trace=trace,
+                plan=plan,
+            ).savat_zj
     return samples
 
 
@@ -309,7 +345,7 @@ def _row_task(
             FrequencyPlan,
         ]
     ],
-) -> tuple[int, list[tuple[int, np.ndarray, float]]]:
+) -> tuple[int, list[tuple[int, np.ndarray, float, dict[str, float]]]]:
     """Simulate one row's pending cells inside a worker process.
 
     Each cell ships its pre-computed frequency plan from the parent, so
@@ -318,13 +354,15 @@ def _row_task(
     machine = _WORKER_STATE["machine"]
     config = _WORKER_STATE["config"]
     repetitions = _WORKER_STATE["repetitions"]
-    results: list[tuple[int, np.ndarray, float]] = []
+    results: list[tuple[int, np.ndarray, float, dict[str, float]]] = []
     for j, event_a, event_b, seed_sequence, plan in cells:
         started = time.perf_counter()
+        phases: dict[str, float] = {}
         samples = simulate_cell(
-            machine, config, event_a, event_b, repetitions, seed_sequence, plan=plan
+            machine, config, event_a, event_b, repetitions, seed_sequence,
+            plan=plan, phase_seconds=phases,
         )
-        results.append((j, samples, time.perf_counter() - started))
+        results.append((j, samples, time.perf_counter() - started, phases))
     return row, results
 
 
@@ -388,10 +426,16 @@ def execute_campaign(
     total = count * count
     done = 0
 
-    def finish(i: int, j: int, cell_samples: np.ndarray, elapsed_s: float) -> None:
+    def finish(
+        i: int,
+        j: int,
+        cell_samples: np.ndarray,
+        elapsed_s: float,
+        phase_seconds: dict[str, float] | None = None,
+    ) -> None:
         nonlocal done
         samples[i, j] = cell_samples
-        stats.record_cell(names[i], names[j], elapsed_s)
+        stats.record_cell(names[i], names[j], elapsed_s, phase_seconds)
         done += 1
         if progress is not None:
             progress(names[i], names[j], done, total)
@@ -443,15 +487,16 @@ def execute_campaign(
         for i, cells in rows:
             for j, event_a, event_b, seed_sequence, plan in cells:
                 cell_started = time.perf_counter()
+                phases: dict[str, float] = {}
                 cell_samples = simulate_cell(
                     machine, config, event_a, event_b, repetitions, seed_sequence,
-                    plan=plan,
+                    plan=plan, phase_seconds=phases,
                 )
                 elapsed = time.perf_counter() - cell_started
                 stats.cells_simulated += 1
                 if cache is not None:
                     cache.store_cell(key, i, j, cell_samples)
-                finish(i, j, cell_samples, elapsed)
+                finish(i, j, cell_samples, elapsed, phases)
     else:
         with ProcessPoolExecutor(
             max_workers=min(effective_workers, len(rows)),
@@ -461,11 +506,11 @@ def execute_campaign(
             futures = [pool.submit(_row_task, i, cells) for i, cells in rows]
             for future in as_completed(futures):
                 i, row_results = future.result()
-                for j, cell_samples, elapsed in row_results:
+                for j, cell_samples, elapsed, phases in row_results:
                     stats.cells_simulated += 1
                     if cache is not None:
                         cache.store_cell(key, i, j, cell_samples)
-                    finish(i, j, cell_samples, elapsed)
+                    finish(i, j, cell_samples, elapsed, phases)
 
     stats.wall_seconds = time.perf_counter() - started
     return samples, stats

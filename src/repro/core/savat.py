@@ -24,7 +24,10 @@ The result is the per-pair signal energy in zeptojoules — the SAVAT.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
+from typing import Iterator
 
 import numpy as np
 
@@ -38,11 +41,48 @@ from repro.instruments.spectrum_analyzer import Spectrum, SpectrumAnalyzer
 from repro.isa.events import InstructionEvent, get_event
 from repro.machines.calibrated import CalibratedMachine
 from repro.uarch.activity import ActivityTrace
-from repro.uarch.fastpath import fast_path_enabled
+from repro.uarch.fastpath import fast_path_enabled, prime_extrapolation_enabled
 from repro.units import REFERENCE_IMPEDANCE, ZEPTOJOULE
 
 #: Supported measurement methods.
 METHODS = ("analytic", "synthesis")
+
+#: Active phase-timing sink (``None``: phase timing disabled).
+_PHASE_SINK: dict[str, float] | None = None
+
+
+@contextmanager
+def record_phase_seconds(sink: dict[str, float]) -> Iterator[dict[str, float]]:
+    """Accumulate per-phase wall-clock seconds into ``sink``.
+
+    While active, the measurement pipeline adds elapsed time under the
+    keys ``"prime"`` (cache pre-conditioning), ``"core_run"``
+    (instruction-level simulation), ``"synthesize"`` (signal tiling) and
+    ``"analyze"`` (spectrum / band-power integration).  The campaign
+    executor wraps each cell in this to build the per-cell breakdown in
+    ``matrix.metadata["execution"]``.
+    """
+    global _PHASE_SINK
+    previous = _PHASE_SINK
+    _PHASE_SINK = sink
+    try:
+        yield sink
+    finally:
+        _PHASE_SINK = previous
+
+
+@contextmanager
+def _phase(name: str) -> Iterator[None]:
+    """Time a pipeline phase when a sink is installed (no-op otherwise)."""
+    sink = _PHASE_SINK
+    if sink is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[name] = sink.get(name, 0.0) + time.perf_counter() - started
 
 
 @dataclass(frozen=True)
@@ -155,6 +195,129 @@ MAX_PRIME_PERIODS = 4096
 #: Relative frequency error above which ``inst_loop_count`` is re-tuned.
 FREQUENCY_TOLERANCE = 0.02
 
+#: Chunk size, in alternation periods, used by the steady-state
+#: extrapolation detector: priming is replayed chunk by chunk, and two
+#: equal canonical snapshots one chunk apart prove pass-periodicity.
+PRIME_CHUNK_PERIODS = 32
+
+
+def _sweep_chunk_stream(sweeps, count: int, start_period: int, periods: int):
+    """Interleaved priming stream for ``periods`` periods from ``start_period``.
+
+    ``sweeps`` lists the memory halves' ``(SweepPlan, is_store)`` in
+    execution order; the returned stream interleaves them period by
+    period exactly as the alternation loop issues them.
+    """
+    total = periods * count
+    streams = [
+        sweep_address_stream(
+            plan,
+            advance_pointer(plan.base, plan.mask, plan.offset, start_period * count),
+            total,
+        )
+        for plan, _is_store in sweeps
+    ]
+    if len(sweeps) == 1:
+        return streams[0], sweeps[0][1]
+    stream = np.empty((periods, 2 * count), dtype=np.int64)
+    stream[:, :count] = streams[0].reshape(periods, count)
+    stream[:, count:] = streams[1].reshape(periods, count)
+    store_a = sweeps[0][1]
+    store_b = sweeps[1][1]
+    if store_a == store_b:
+        return stream.reshape(-1), store_a
+    period_writes = np.empty(2 * count, dtype=bool)
+    period_writes[:count] = store_a
+    period_writes[count:] = store_b
+    return stream.reshape(-1), np.tile(period_writes, periods)
+
+
+def _ring_states_equal(state_a, state_b) -> bool:
+    return all(
+        np.array_equal(array_a, array_b)
+        for level_a, level_b in zip(state_a, state_b)
+        for array_a, array_b in zip(level_a, level_b)
+    )
+
+
+def _counter_delta(now, before):
+    return (
+        {name: now[0][name] - before[0][name] for name in now[0]},
+        {name: now[1][name] - before[1][name] for name in now[1]},
+        now[2] - before[2],
+    )
+
+
+def _prime_fast(hierarchy, sweeps, count: int, periods_needed: int) -> None:
+    """Replay priming periods, extrapolating the pass-periodic steady state.
+
+    Each period advances every memory sweep by ``count`` ring slots, so
+    once the hierarchy state repeats *up to that rotation* the remaining
+    periods are pure repetition: the per-chunk counter deltas are
+    constant and the final state is a known rotation of the detected one.
+    The detector replays :data:`PRIME_CHUNK_PERIODS`-period chunks,
+    canonicalizes the state after each chunk by rotating every ring back
+    by the slots already swept, and — on the first repeat — adds the
+    remaining whole chunks' counter deltas arithmetically, rotates the
+    state forward, and replays only the sub-chunk remainder.  Counters
+    and final state are bit-identical to replaying every access.
+
+    Extrapolation requires the rotation to be a cache isomorphism.  Rings
+    whose slot count divides both set counts qualify unconditionally; an
+    L1-sized ring smaller than the L2 set count qualifies *dynamically*,
+    while none of its lines are resident in L2 — the L2 half of the map
+    is then vacuous, and in steady state such rings live entirely in L1
+    (a line that does spill into L2 persists there for hundreds of
+    periods — far longer than a chunk — so the per-boundary absence check
+    cannot miss it).  Sweeps failing both tests replay in full through
+    the wavefront engine.
+    """
+    chunk = PRIME_CHUNK_PERIODS
+    line = hierarchy.line_bytes
+    rings = [(plan.base // line, plan.num_slots) for plan, _is_store in sweeps]
+    check_rings = hierarchy.ring_shift_plan(rings)
+    eligible = (
+        prime_extrapolation_enabled()
+        and periods_needed >= 3 * chunk
+        and all(plan.offset == line for plan, _is_store in sweeps)
+        and check_rings is not None
+    )
+    if not eligible:
+        stream, writes = _sweep_chunk_stream(sweeps, count, 0, periods_needed)
+        hierarchy.access_stream(stream, writes)
+        return
+
+    done = 0
+    previous_state = None
+    previous_counters = None
+    while done < periods_needed:
+        todo = min(chunk, periods_needed - done)
+        stream, writes = _sweep_chunk_stream(sweeps, count, done, todo)
+        hierarchy.access_stream(stream, writes)
+        done += todo
+        if todo < chunk or done >= periods_needed:
+            break
+        if check_rings and not hierarchy.rings_absent_from_l2(check_rings):
+            previous_state = None
+            continue
+        state = hierarchy.canonical_ring_state(rings, -done * count)
+        counters = hierarchy.counters()
+        if previous_state is not None and _ring_states_equal(state, previous_state):
+            skip = (periods_needed - done) // chunk
+            if skip:
+                hierarchy.add_counters(
+                    _counter_delta(counters, previous_counters), times=skip
+                )
+                hierarchy.apply_ring_shift(rings, skip * chunk * count)
+                done += skip * chunk
+            remainder = periods_needed - done
+            if remainder:
+                stream, writes = _sweep_chunk_stream(sweeps, count, done, remainder)
+                hierarchy.access_stream(stream, writes)
+            return
+        previous_state = state
+        previous_counters = counters
+
 
 def prime_alternation_steady_state(core, spec) -> tuple[int, int]:
     """Drive the caches to the alternation loop's periodic steady state.
@@ -168,12 +331,16 @@ def prime_alternation_steady_state(core, spec) -> tuple[int, int]:
     pointers at the start of the next period so the measured run
     continues seamlessly.
 
-    The fast path precomputes both halves' full address streams with
-    NumPy (the pointer recurrence has a closed form), interleaves them
-    period by period in execution order, and replays the combined stream
-    through :meth:`~repro.uarch.hierarchy.MemoryHierarchy.access_stream`
-    in one call.  State and statistics are bit-identical to the scalar
-    reference loop below (``SAVAT_REFERENCE_PATH=1`` to force it).
+    The fast path precomputes both halves' address streams with NumPy
+    (the pointer recurrence has a closed form), interleaves them period
+    by period in execution order, and replays them through the wavefront
+    engine behind
+    :meth:`~repro.uarch.hierarchy.MemoryHierarchy.access_stream` —
+    extrapolating the pass-periodic tail arithmetically when the sweeps
+    permit it (see :func:`_prime_fast`; ``SAVAT_PRIME_EXTRAPOLATE=0``
+    disables just the extrapolation).  State and statistics are
+    bit-identical to the scalar reference loop below
+    (``SAVAT_REFERENCE_PATH=1`` to force it).
     """
     core.hierarchy.reset()
     count = spec.inst_loop_count
@@ -195,26 +362,13 @@ def prime_alternation_steady_state(core, spec) -> tuple[int, int]:
     total = periods_needed * count
 
     if fast_path_enabled():
-        if a_is_memory and b_is_memory:
-            stream_a = sweep_address_stream(spec.sweep_a, spec.sweep_a.base, total)
-            stream_b = sweep_address_stream(spec.sweep_b, spec.sweep_b.base, total)
-            stream = np.empty((periods_needed, 2 * count), dtype=np.int64)
-            stream[:, :count] = stream_a.reshape(periods_needed, count)
-            stream[:, count:] = stream_b.reshape(periods_needed, count)
-            if a_is_store == b_is_store:
-                is_write: bool | np.ndarray = a_is_store
-            else:
-                period_writes = np.empty(2 * count, dtype=bool)
-                period_writes[:count] = a_is_store
-                period_writes[count:] = b_is_store
-                is_write = np.tile(period_writes, periods_needed)
-            core.hierarchy.access_stream(stream.reshape(-1), is_write)
-        elif a_is_memory:
-            stream = sweep_address_stream(spec.sweep_a, spec.sweep_a.base, total)
-            core.hierarchy.access_stream(stream, a_is_store)
-        elif b_is_memory:
-            stream = sweep_address_stream(spec.sweep_b, spec.sweep_b.base, total)
-            core.hierarchy.access_stream(stream, b_is_store)
+        sweeps = []
+        if a_is_memory:
+            sweeps.append((spec.sweep_a, a_is_store))
+        if b_is_memory:
+            sweeps.append((spec.sweep_b, b_is_store))
+        if sweeps:
+            _prime_fast(core.hierarchy, sweeps, count, periods_needed)
         pointer_a = advance_pointer(spec.sweep_a.base, mask_a, offset_a, total)
         pointer_b = advance_pointer(spec.sweep_b.base, mask_b, offset_b, total)
         return pointer_a, pointer_b
@@ -261,14 +415,16 @@ def simulate_alternation_period(
         simulated_plan = plan
         spec = plan.spec
         program = build_alternation_program(spec)
-        pointer_a, pointer_b = prime_alternation_steady_state(core, spec)
+        with _phase("prime"):
+            pointer_a, pointer_b = prime_alternation_steady_state(core, spec)
         registers = spec.initial_registers()
         registers["esi"] = pointer_a
         registers["edi"] = pointer_b
         for name, value in registers.items():
             core.registers[name] = value
-        core.run(program, warm_hierarchy=True)  # warm-up period
-        result = core.run(program, warm_hierarchy=True)  # measured period
+        with _phase("core_run"):
+            core.run(program, warm_hierarchy=True)  # warm-up period
+            result = core.run(program, warm_hierarchy=True)  # measured period
         trace = result.trace
 
         achieved = core.clock_hz / trace.num_cycles
@@ -336,10 +492,11 @@ def measure_savat(
 
     spectrum: Spectrum | None = None
     if config.method == "analytic":
-        waveform = machine.coupling.project_trace(trace)
-        coefficients = fourier_coefficient(waveform)
-        signal_power = band_power_from_modes(coefficients, REFERENCE_IMPEDANCE)
-        noise_residual = _noise_residual(machine, config, rng)
+        with _phase("analyze"):
+            waveform = machine.coupling.project_trace(trace)
+            coefficients = fourier_coefficient(waveform)
+            signal_power = band_power_from_modes(coefficients, REFERENCE_IMPEDANCE)
+            noise_residual = _noise_residual(machine, config, rng)
     else:
         signal_power, noise_residual, spectrum = _measure_by_synthesis(
             machine, trace, config, rng
@@ -393,20 +550,32 @@ def _measure_by_synthesis(
     config: MeasurementConfig,
     rng: np.random.Generator | None,
 ) -> tuple[float, float, Spectrum]:
-    """Full signal-path measurement: synthesize, analyze, integrate."""
-    local_rng = rng or np.random.default_rng(0)
-    signal = synthesize_measurement(
-        trace,
-        machine.coupling,
-        duration_s=max(config.duration_s, 1.0 / config.rbw_hz),
-        rng=local_rng,
-        jitter=config.jitter,
-    )
-    analyzer = SpectrumAnalyzer(rbw_hz=config.rbw_hz, environment=machine.environment)
-    spectrum = analyzer.measure(signal, rng=rng)
-    band = spectrum.band_power_w(
-        config.alternation_frequency_hz, config.band_half_width_hz
-    )
+    """Full signal-path measurement: synthesize, analyze, integrate.
+
+    With ``rng=None`` this is the deterministic expected-value path:
+    the period trace is tiled with *no* timing jitter and the analyzer
+    adds no noise, instead of silently substituting a fixed-seed
+    generator whose jitter draws masqueraded as determinism.
+    """
+    jitter = config.jitter
+    if rng is None:
+        jitter = JitterModel(period_sigma=0.0, drift_sigma=0.0)
+    with _phase("synthesize"):
+        signal = synthesize_measurement(
+            trace,
+            machine.coupling,
+            duration_s=max(config.duration_s, 1.0 / config.rbw_hz),
+            rng=rng,
+            jitter=jitter,
+        )
+    with _phase("analyze"):
+        analyzer = SpectrumAnalyzer(
+            rbw_hz=config.rbw_hz, environment=machine.environment
+        )
+        spectrum = analyzer.measure(signal, rng=rng)
+        band = spectrum.band_power_w(
+            config.alternation_frequency_hz, config.band_half_width_hz
+        )
     expected_noise = (
         machine.environment.total_floor_w_per_hz * 2.0 * config.band_half_width_hz
     )

@@ -53,10 +53,18 @@ class JitterModel:
         if self.period_sigma < 0 or self.drift_sigma < 0:
             raise ConfigurationError("jitter sigmas must be non-negative")
 
-    def period_multipliers(self, num_periods: int, rng: np.random.Generator) -> np.ndarray:
-        """Duration multiplier for each of ``num_periods`` periods."""
+    def period_multipliers(
+        self, num_periods: int, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        """Duration multiplier for each of ``num_periods`` periods.
+
+        ``rng`` may be ``None`` only when both sigmas are zero (the
+        deterministic expected-value path synthesizes without jitter).
+        """
         if num_periods <= 0:
             raise ConfigurationError(f"num_periods must be positive, got {num_periods}")
+        if rng is None and (self.period_sigma > 0 or self.drift_sigma > 0):
+            raise ConfigurationError("jitter with non-zero sigma requires an rng")
         multipliers = np.ones(num_periods)
         if self.drift_sigma > 0:
             multipliers += np.cumsum(rng.normal(0.0, self.drift_sigma, num_periods))
@@ -115,7 +123,7 @@ def synthesize_measurement(
     trace: ActivityTrace,
     couplings: CouplingMatrix,
     duration_s: float,
-    rng: np.random.Generator,
+    rng: np.random.Generator | None,
     jitter: JitterModel | None = None,
     sample_rate_hz: float | None = None,
     envelope_samples: int = DEFAULT_ENVELOPE_SAMPLES,
@@ -131,7 +139,8 @@ def synthesize_measurement(
     duration_s:
         Measurement length; 1 s supports the paper's 1 Hz RBW.
     rng:
-        Randomness source for the jitter model.
+        Randomness source for the jitter model; ``None`` requires a
+        zero-sigma jitter model (deterministic tiling).
     jitter:
         Timing imperfection model (default: :class:`JitterModel`).
     sample_rate_hz:

@@ -250,6 +250,25 @@ class ActivityRecorder:
         else:
             group[1].append(base_cycle)
 
+    def add_block_batch(self, block: ActivityBlock, base_cycles: np.ndarray) -> None:
+        """Replay ``block`` once per entry of ``base_cycles`` (a 1-D int array).
+
+        Equivalent to calling :meth:`add_block` in a loop, without the
+        per-call overhead — the steady-state loop replay deposits one
+        template at every iteration's start cycle this way.
+        """
+        base_array = np.ascontiguousarray(base_cycles, dtype=np.int64)
+        if base_array.size == 0:
+            return
+        if int(base_array.min()) < 0:
+            raise SimulationError("negative block base cycle in batch")
+        bases = base_array.tolist()
+        group = self._block_groups.get(id(block))
+        if group is None:
+            self._block_groups[id(block)] = (block, bases)
+        else:
+            group[1].extend(bases)
+
     def _gather(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """All events (scalar + expanded blocks) as flat arrays."""
         components = [np.asarray(self._components, dtype=np.int64)]

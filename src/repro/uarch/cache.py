@@ -7,11 +7,21 @@ decides — from the actual address stream — which level services each
 access and when dirty lines are written back.  The STL2 "two L2 accesses
 per store" effect the paper discusses (fill plus dirty write-back) falls
 out of this model rather than being hard-coded.
+
+The state is struct-of-arrays: per level, a ``num_sets x ways`` tag
+matrix, a dirty-bit matrix, and a per-set occupancy vector.  Within a
+row, column 0 is the LRU victim and column ``occupancy - 1`` the MRU
+line; columns at or past the occupancy are invalid.  The scalar
+:meth:`Cache.access` walks one row; :func:`replay_stream` replays whole
+address streams set-grouped ("wavefronts": the k-th access of every set
+is updated simultaneously), which is what makes sweep priming cheap.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -79,6 +89,13 @@ class CacheAccessResult:
     evicted_dirty: bool = False
 
 
+#: Shared results for the two outcomes that carry no victim information.
+#: They are never mutated (consumers only read the fields), so the hot
+#: ``access`` path allocates a result object only when a line is evicted.
+_HIT_RESULT = CacheAccessResult(hit=True)
+_MISS_RESULT = CacheAccessResult(hit=False)
+
+
 @dataclass
 class CacheStats:
     """Counters for one cache level."""
@@ -97,13 +114,202 @@ class CacheStats:
 
 
 class _Line:
-    """One cache line's bookkeeping (tag + dirty bit)."""
+    """One cache line's bookkeeping (tag + dirty bit) — a *view* object.
+
+    The engine itself stores no per-line objects; ``Cache._sets`` builds
+    these on demand for introspection (tests, digests).
+    """
 
     __slots__ = ("tag", "dirty")
 
     def __init__(self, tag: int, dirty: bool) -> None:
         self.tag = tag
         self.dirty = dirty
+
+
+def replay_stream(
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    occupancy: np.ndarray,
+    ways: int,
+    set_indices: np.ndarray,
+    target_tags: np.ndarray,
+    writes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Replay an ordered access stream against one level's state arrays.
+
+    The stream is grouped by set (stable sort, so per-set order is the
+    stream order) and processed in *wavefronts*: iteration ``k`` updates
+    the ``k``-th access of every set at once with pure array operations.
+    Each wavefront touches each set at most once, so the gather/update/
+    scatter below is exactly one sequential LRU access per set — the
+    result is bit-identical to looping :meth:`Cache.access`.
+
+    The loop works on a packed ``tag * 2 + dirty`` array so every LRU
+    reorder moves one array instead of two, skips occupancy bookkeeping
+    once every set is full (occupancy never changes again), and — when a
+    wavefront covers every set — drops the gather/scatter entirely and
+    updates the packed state in place.
+
+    Parameters
+    ----------
+    tags, dirty, occupancy:
+        The level's state arrays, updated in place.
+    ways:
+        Associativity (number of columns).
+    set_indices, target_tags, writes:
+        Equal-length 1-D arrays describing the stream in order.
+
+    Returns
+    -------
+    tuple
+        Per-access arrays ``(hit, evicted, victim_tag, victim_dirty)``
+        in stream order; ``victim_tag``/``victim_dirty`` are only
+        meaningful where ``evicted`` is True (zero/False elsewhere).
+    """
+    count = set_indices.shape[0]
+    hit_out = np.zeros(count, dtype=bool)
+    evicted_out = np.zeros(count, dtype=bool)
+    victim_tag_out = np.zeros(count, dtype=np.int64)
+    victim_dirty_out = np.zeros(count, dtype=bool)
+    if count == 0:
+        return hit_out, evicted_out, victim_tag_out, victim_dirty_out
+
+    order = np.argsort(set_indices, kind="stable")
+    sorted_sets = set_indices[order]
+    new_group = np.empty(count, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_sets[1:], sorted_sets[:-1], out=new_group[1:])
+    group_starts = np.flatnonzero(new_group)
+    group_counts = np.diff(np.append(group_starts, count))
+
+    # Re-lay the stream out wavefront-major once, so the loop below is
+    # pure slicing: ``rank`` is each access's position within its set's
+    # run, and a stable sort by rank makes wavefront k's accesses (one
+    # per set that still has a k-th access, in set order) contiguous.
+    rank = np.arange(count, dtype=np.int64) - np.repeat(group_starts, group_counts)
+    wf = np.argsort(rank, kind="stable")
+    wf_counts = np.bincount(rank)
+    boundaries = np.empty(wf_counts.shape[0] + 1, dtype=np.int64)
+    boundaries[0] = 0
+    np.cumsum(wf_counts, out=boundaries[1:])
+    wf_stream_idx = order[wf]
+    wf_rows = sorted_sets[wf]
+    wf_tags = target_tags[wf_stream_idx]
+    wf_writes = writes[wf_stream_idx]
+    # Packed representation: one int64 per line, tag in the high bits and
+    # the dirty bit in bit 0.  ``packed | 1 == tag * 2 + 1`` is the tag
+    # compare; a hit ORs the write bit in; a miss inserts ``tag * 2 + w``.
+    comb = tags * 2 + dirty
+    wf_w = wf_writes.astype(np.int64)
+    wf_new = wf_tags * 2 + wf_w
+    wf_keys = wf_new | 1
+    wf_hit = np.empty(count, dtype=bool)
+    wf_evict = np.zeros(count, dtype=bool)
+    wf_victim = np.zeros(count, dtype=np.int64)
+
+    bounds = boundaries.tolist()
+    num_sets = tags.shape[0]
+    row_range = np.arange(int(wf_counts[0]), dtype=np.intp)
+    way_ids = np.arange(ways, dtype=np.int64)
+    last_way = ways - 1
+    all_full = bool((occupancy == ways).all())
+    for k in range(wf_counts.shape[0]):
+        lo = bounds[k]
+        hi = bounds[k + 1]
+        n = hi - lo
+        rows = wf_rows[lo:hi]
+        ar = row_range[:n]
+        # A wavefront's rows are strictly increasing, so covering every
+        # set means ``rows`` is the identity — operate on ``comb``
+        # directly with no gather/scatter.
+        identity = n == num_sets
+
+        if all_full:
+            # Steady state: every set is full, the insert slot is always
+            # the last way, and occupancy never changes again.
+            row_comb = comb if identity else comb[rows]
+            matches = (row_comb | 1) == wf_keys[lo:hi, None]
+            # Position of the first (only) match; where no way matches,
+            # argmax yields 0 and matches[row, 0] is False, so the same
+            # gather also yields the hit flag.
+            pos = matches.argmax(axis=1)
+            hit = matches[ar, pos]
+            if not hit.any():
+                # Conflict-miss sweep: record every LRU victim, shift
+                # every set left in place, append at MRU.
+                wf_hit[lo:hi] = False
+                wf_evict[lo:hi] = True
+                wf_victim[lo:hi] = row_comb[:, 0]
+                row_comb[:, :-1] = row_comb[:, 1:]
+                row_comb[:, last_way] = wf_new[lo:hi]
+                if not identity:
+                    comb[rows] = row_comb
+                continue
+            if hit.all():
+                # Pure LRU reorder: move the hit line to MRU, no victims.
+                wf_hit[lo:hi] = True
+                src = way_ids + (way_ids >= pos[:, None])
+                np.minimum(src, last_way, out=src)
+                moved = row_comb[ar[:, None], src]
+                moved[:, last_way] = row_comb[ar, pos] | wf_w[lo:hi]
+                if identity:
+                    comb = moved
+                else:
+                    comb[rows] = moved
+                continue
+            evict = ~hit
+            wf_hit[lo:hi] = hit
+            wf_evict[lo:hi] = evict
+            wf_victim[lo:hi] = np.where(evict, row_comb[:, 0], 0)
+            p_remove = np.where(hit, pos, 0)
+            src = way_ids + (way_ids >= p_remove[:, None])
+            np.minimum(src, last_way, out=src)
+            moved = row_comb[ar[:, None], src]
+            moved[:, last_way] = np.where(
+                hit, row_comb[ar, pos] | wf_w[lo:hi], wf_new[lo:hi]
+            )
+            if identity:
+                comb = moved
+            else:
+                comb[rows] = moved
+            continue
+
+        row_comb = comb[rows]
+        occ = occupancy[rows]
+        full = occ == ways
+        valid = way_ids < occ[:, None]
+        matches = valid & ((row_comb | 1) == wf_keys[lo:hi, None])
+        pos = matches.argmax(axis=1)
+        hit = matches[ar, pos]
+        miss = ~hit
+        evict = miss & full
+
+        wf_hit[lo:hi] = hit
+        wf_evict[lo:hi] = evict
+        wf_victim[lo:hi] = np.where(evict, row_comb[:, 0], 0)
+
+        # Remove the hit line (at pos) or, on a full miss, the LRU line
+        # (column 0); a non-full miss removes nothing (p_remove == occ,
+        # past every shifted column).  Insert at the new MRU slot.
+        p_remove = np.where(hit, pos, np.where(full, 0, occ))
+        insert_pos = np.where(hit, occ - 1, np.where(full, last_way, occ))
+        src = way_ids + (way_ids >= p_remove[:, None])
+        np.minimum(src, last_way, out=src)
+        moved = row_comb[ar[:, None], src]
+        moved[ar, insert_pos] = np.where(
+            hit, row_comb[ar, pos] | wf_w[lo:hi], wf_new[lo:hi]
+        )
+        comb[rows] = moved
+        occupancy[rows] = occ + (miss & ~full)
+        all_full = bool((occupancy == ways).all())
+    np.right_shift(comb, 1, out=tags)
+    np.not_equal(comb & 1, 0, out=dirty)
+    hit_out[wf_stream_idx] = wf_hit
+    evicted_out[wf_stream_idx] = wf_evict
+    victim_tag_out[wf_stream_idx] = wf_victim >> 1
+    victim_dirty_out[wf_stream_idx] = (wf_victim & 1) != 0
+    return hit_out, evicted_out, victim_tag_out, victim_dirty_out
 
 
 @dataclass
@@ -121,14 +327,34 @@ class Cache:
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
-        # Each set is a list of _Line in LRU order (front = LRU victim,
-        # back = most recently used).
-        self._sets: list[list[_Line]] = [[] for _ in range(self.geometry.num_sets)]
+        geometry = self.geometry
+        self._tags = np.zeros((geometry.num_sets, geometry.ways), dtype=np.int64)
+        self._dirty = np.zeros((geometry.num_sets, geometry.ways), dtype=bool)
+        self._occupancy = np.zeros(geometry.num_sets, dtype=np.int64)
+
+    @property
+    def _sets(self) -> list[list[_Line]]:
+        """Per-set LRU-ordered line views (front = LRU victim, back = MRU).
+
+        Built fresh on each read from the state arrays; mutations of the
+        returned objects do not affect the cache.  Kept for tests and
+        digests that inspect cache contents line by line.
+        """
+        tag_rows = self._tags.tolist()
+        dirty_rows = self._dirty.tolist()
+        occupancy = self._occupancy.tolist()
+        return [
+            [_Line(tag_row[i], dirty_row[i]) for i in range(occ)]
+            for tag_row, dirty_row, occ in zip(tag_rows, dirty_rows, occupancy)
+        ]
 
     def lookup(self, address: int) -> bool:
         """Non-modifying presence check (no LRU update, no stats)."""
-        target_tag = self.geometry.tag(address)
-        return any(line.tag == target_tag for line in self._sets[self.geometry.set_index(address)])
+        line_id = address // self.geometry.line_bytes
+        num_sets = self.geometry.num_sets
+        set_index = line_id % num_sets
+        occupancy = int(self._occupancy[set_index])
+        return (line_id // num_sets) in self._tags[set_index, :occupancy].tolist()
 
     def access(self, address: int, is_write: bool) -> CacheAccessResult:
         """Access ``address``; allocate on miss; return hit/eviction info.
@@ -138,102 +364,153 @@ class Cache:
         The caller (the hierarchy) is responsible for propagating the
         miss and any dirty write-back to the next level.
         """
-        cache_set = self._sets[self.geometry.set_index(address)]
-        target_tag = self.geometry.tag(address)
-        self.stats.accesses += 1
+        geometry = self.geometry
+        line_id = address // geometry.line_bytes
+        num_sets = geometry.num_sets
+        set_index = line_id % num_sets
+        target_tag = line_id // num_sets
+        stats = self.stats
+        stats.accesses += 1
 
-        for position, line in enumerate(cache_set):
-            if line.tag == target_tag:
-                self.stats.hits += 1
-                if is_write:
-                    line.dirty = True
-                # Move to MRU position.
-                cache_set.append(cache_set.pop(position))
-                return CacheAccessResult(hit=True)
+        tags = self._tags[set_index]
+        dirty = self._dirty[set_index]
+        occupancy = int(self._occupancy[set_index])
+        try:
+            position = tags[:occupancy].tolist().index(target_tag)
+        except ValueError:
+            position = -1
 
-        self.stats.misses += 1
-        self.stats.fills += 1
-        evicted_line: int | None = None
-        evicted_dirty = False
-        if len(cache_set) >= self.geometry.ways:
-            victim = cache_set.pop(0)
-            self.stats.evictions += 1
-            evicted_dirty = victim.dirty
-            if evicted_dirty:
-                self.stats.dirty_evictions += 1
-            set_index = self.geometry.set_index(address)
-            evicted_line = (
-                victim.tag * self.geometry.num_sets + set_index
-            ) * self.geometry.line_bytes
-        cache_set.append(_Line(target_tag, dirty=is_write))
-        return CacheAccessResult(
-            hit=False, evicted_line=evicted_line, evicted_dirty=evicted_dirty
-        )
+        if position >= 0:
+            stats.hits += 1
+            line_dirty = bool(dirty[position]) or is_write
+            if position != occupancy - 1:
+                # Rotate [position+1, occupancy) down one slot; the MRU
+                # slot then takes the accessed line.  NumPy buffers
+                # overlapping basic-slice copies, so this is safe.
+                tags[position : occupancy - 1] = tags[position + 1 : occupancy]
+                dirty[position : occupancy - 1] = dirty[position + 1 : occupancy]
+                tags[occupancy - 1] = target_tag
+            dirty[occupancy - 1] = line_dirty
+            return _HIT_RESULT
+
+        stats.misses += 1
+        stats.fills += 1
+        if occupancy >= geometry.ways:
+            victim_tag = int(tags[0])
+            victim_dirty = bool(dirty[0])
+            stats.evictions += 1
+            if victim_dirty:
+                stats.dirty_evictions += 1
+            tags[: occupancy - 1] = tags[1:occupancy]
+            dirty[: occupancy - 1] = dirty[1:occupancy]
+            tags[occupancy - 1] = target_tag
+            dirty[occupancy - 1] = is_write
+            return CacheAccessResult(
+                hit=False,
+                evicted_line=(victim_tag * num_sets + set_index) * geometry.line_bytes,
+                evicted_dirty=victim_dirty,
+            )
+        tags[occupancy] = target_tag
+        dirty[occupancy] = is_write
+        self._occupancy[set_index] = occupancy + 1
+        return _MISS_RESULT
 
     def access_block(self, addresses, is_write: bool) -> None:
         """Batched :meth:`access`: identical state and statistics updates.
 
-        Vectorizes the set-index/tag arithmetic for a whole address
-        block with NumPy and runs the tag scan / LRU / fill bookkeeping
-        in one tight loop, discarding the per-access results.  Used by
-        the sweep pre-conditioning helpers, which only care about the
-        final cache state.  Misses allocate exactly as in :meth:`access`
+        Replays a whole address block through the set-grouped wavefront
+        engine, discarding the per-access results.  Used by the sweep
+        pre-conditioning helpers, which only care about the final cache
+        state.  Misses allocate exactly as in :meth:`access`
         (write-allocate; victims are simply dropped — propagating their
         write-backs is the hierarchy's job, which this method is not a
         substitute for).
         """
-        import numpy as np
-
         address_array = np.ascontiguousarray(addresses, dtype=np.int64)
+        count = address_array.shape[0]
+        if count == 0:
+            return
         line_ids = address_array // self.geometry.line_bytes
         num_sets = self.geometry.num_sets
-        set_list = (line_ids % num_sets).tolist()
-        tag_list = (line_ids // num_sets).tolist()
-        ways = self.geometry.ways
-        sets = self._sets
+        hit, evicted, _victim_tag, victim_dirty = replay_stream(
+            self._tags,
+            self._dirty,
+            self._occupancy,
+            self.geometry.ways,
+            line_ids % num_sets,
+            line_ids // num_sets,
+            np.broadcast_to(np.bool_(is_write), (count,)),
+        )
         stats = self.stats
-        accesses = hits = misses = evictions = dirty_evictions = fills = 0
-
-        for set_index, tag in zip(set_list, tag_list):
-            cache_set = sets[set_index]
-            accesses += 1
-            hit = False
-            for position, line in enumerate(cache_set):
-                if line.tag == tag:
-                    hits += 1
-                    if is_write:
-                        line.dirty = True
-                    cache_set.append(cache_set.pop(position))
-                    hit = True
-                    break
-            if hit:
-                continue
-            misses += 1
-            fills += 1
-            if len(cache_set) >= ways:
-                victim = cache_set.pop(0)
-                evictions += 1
-                if victim.dirty:
-                    dirty_evictions += 1
-            cache_set.append(_Line(tag, is_write))
-
-        stats.accesses += accesses
+        hits = int(hit.sum())
+        stats.accesses += count
         stats.hits += hits
-        stats.misses += misses
-        stats.evictions += evictions
-        stats.dirty_evictions += dirty_evictions
-        stats.fills += fills
+        stats.misses += count - hits
+        stats.fills += count - hits
+        stats.evictions += int(evicted.sum())
+        stats.dirty_evictions += int(victim_dirty.sum())
 
     def invalidate_all(self) -> None:
         """Drop every line (used between independent measurements)."""
-        self._sets = [[] for _ in range(self.geometry.num_sets)]
+        self._tags.fill(0)
+        self._dirty.fill(False)
+        self._occupancy.fill(0)
 
     def resident_lines(self) -> int:
         """Number of valid lines currently held."""
-        return sum(len(cache_set) for cache_set in self._sets)
+        return int(self._occupancy.sum())
 
     def dirty_lines(self) -> int:
         """Number of dirty lines currently held."""
-        return sum(
-            1 for cache_set in self._sets for line in cache_set if line.dirty
+        ways = self.geometry.ways
+        valid = np.arange(ways, dtype=np.int64)[None, :] < self._occupancy[:, None]
+        return int((self._dirty & valid).sum())
+
+    def holds_lines_in_range(self, base: int, slots: int) -> bool:
+        """True when any valid line's id falls in ``[base, base + slots)``."""
+        num_sets = self.geometry.num_sets
+        ways = self.geometry.ways
+        valid = np.arange(ways, dtype=np.int64)[None, :] < self._occupancy[:, None]
+        ids = self._tags * num_sets + np.arange(num_sets, dtype=np.int64)[:, None]
+        return bool((valid & (ids >= base) & (ids < base + slots)).any())
+
+    # ------------------------------------------------------------------
+    # Ring-shift support for periodic steady-state extrapolation
+    # ------------------------------------------------------------------
+    def ring_shifted_state(
+        self, rings: list[tuple[int, int]], shift: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """State arrays with every ring-resident line advanced ``shift`` slots.
+
+        ``rings`` lists ``(base_line_id, num_slots)`` line-id intervals.
+        When each ring's slot count is a multiple of ``num_sets``, the
+        per-line map ``line -> base + (line - base + shift) % slots`` moves
+        every set's contents wholesale to set ``(set + shift) % num_sets``
+        preserving intra-set order, so the row axis simply rotates — a
+        cache isomorphism.  Invalid entries are normalized to ``0``/
+        ``False`` so the result is canonical (equality comparisons see
+        only the valid region).  ``shift`` may be negative.
+        """
+        num_sets = self.geometry.num_sets
+        ways = self.geometry.ways
+        occupancy = self._occupancy
+        valid = np.arange(ways, dtype=np.int64)[None, :] < occupancy[:, None]
+        set_column = np.arange(num_sets, dtype=np.int64)[:, None]
+        ids = self._tags * num_sets + set_column
+        new_ids = ids
+        for base, slots in rings:
+            relative = ids - base
+            in_ring = valid & (relative >= 0) & (relative < slots)
+            new_ids = np.where(in_ring, base + (relative + shift) % slots, new_ids)
+        row_shift = shift % num_sets
+        new_tags = np.where(valid, new_ids // num_sets, 0)
+        new_dirty = np.where(valid, self._dirty, False)
+        return (
+            np.roll(new_tags, row_shift, axis=0),
+            np.roll(new_dirty, row_shift, axis=0),
+            np.roll(occupancy, row_shift),
         )
+
+    def apply_ring_shift(self, rings: list[tuple[int, int]], shift: int) -> None:
+        """Replace the state with :meth:`ring_shifted_state` in place."""
+        self._tags, self._dirty, self._occupancy = self.ring_shifted_state(rings, shift)

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.isa.instructions import (
     Immediate,
@@ -42,10 +44,18 @@ from repro.uarch.cache import CacheGeometry
 from repro.uarch.components import Component
 from repro.uarch.fastpath import fast_path_enabled
 from repro.uarch.functional_units import ActivityModel, FunctionalUnitTimings
-from repro.uarch.hierarchy import MemoryHierarchy, MemoryLatencies
+from repro.uarch.hierarchy import MemoryAccessReport, MemoryHierarchy, MemoryLatencies
 
 #: Default cap on executed instructions, as a runaway-loop backstop.
 DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+#: Architectural register file (also the shell cores used for template
+#: capture start from this set).
+_REGISTER_NAMES = ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
+
+#: Memory hierarchy levels in :meth:`MemoryHierarchy.access_stream_reports`
+#: level-code order.
+_LEVEL_NAMES = ("L1", "L2", "MEM")
 
 #: ALU opcodes accepted in a fast loop's test slot (immediate source).
 _FAST_TEST_ALU = frozenset(
@@ -271,6 +281,29 @@ def _analyze_fast_loops(program: Program) -> dict[int, FastLoopPlan]:
     return plans
 
 
+def _batched_test_safe(plan: FastLoopPlan) -> bool:
+    """True when the test slot's final register state has a closed form.
+
+    The batched replay applies the pointer-update register effects once
+    and the test-slot effects as an independent evolution.  That is only
+    valid when the test never reads a register the update rewrites each
+    iteration: an ALU/IMUL/IDIV destination aliasing a scratch register
+    would be re-seeded by every pointer update, and an IDIV dividend in a
+    scratch register likewise.  Loads and stores are always safe — their
+    only register write (the load destination) lands after the final
+    pointer update on both paths.
+    """
+    test = plan.test
+    if test is None or test.kind in ("load", "store"):
+        return True
+    scratch = (plan.scratch1, plan.scratch2)
+    if test.dest_name in scratch:
+        return False
+    if test.kind == "idiv" and "eax" in scratch:
+        return False
+    return True
+
+
 @dataclass
 class ExecutionStats:
     """Counters describing one simulation run."""
@@ -331,13 +364,15 @@ class Core:
         self.registers: dict[str, int] = {}
         self.memory: dict[int, int] = {}
         self.zero_flag = False
+        #: Lazily-built bare core used to capture activity templates.
+        self._shell: Core | None = None
+        #: (id(program), head_pc) -> (program, captured loop templates).
+        self._loop_template_cache: dict[tuple[int, int], tuple[Program, dict]] = {}
         self.reset()
 
     def reset(self) -> None:
         """Clear architectural and microarchitectural state."""
-        self.registers = {
-            name: 0 for name in ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
-        }
+        self.registers = {name: 0 for name in _REGISTER_NAMES}
         self.memory = {}
         self.zero_flag = False
         self.hierarchy.reset()
@@ -504,6 +539,35 @@ class Core:
         max_instructions: int,
     ) -> tuple[int, int]:
         """Replay all iterations of a recognized loop; return (cycle, pc).
+
+        Dispatches to the batched engine — templates captured once on a
+        shell core, iteration schedule computed in closed form, activity
+        deposited with array operations — whenever the whole loop fits in
+        the instruction budget and the test slot's register effects have
+        a closed form.  Otherwise the memoizing stepwise engine runs, so
+        the ``max_instructions`` backstop still raises at exactly the
+        same instruction as the reference interpreter.
+        """
+        total = self.registers[plan.loop_reg]
+        if (
+            stats.instructions + total * plan.body_len <= max_instructions
+            and _batched_test_safe(plan)
+        ):
+            return self._run_fast_loop_batched(program, plan, cycle, recorder, stats, total)
+        return self._run_fast_loop_stepwise(
+            program, plan, cycle, recorder, stats, max_instructions
+        )
+
+    def _run_fast_loop_stepwise(
+        self,
+        program: Program,
+        plan: FastLoopPlan,
+        cycle: int,
+        recorder: ActivityRecorder,
+        stats: ExecutionStats,
+        max_instructions: int,
+    ) -> tuple[int, int]:
+        """Per-iteration loop replay; return (cycle, pc).
 
         The first occurrence of each distinct iteration behaviour — the
         constant pointer-update prologue, each cache-outcome signature of
@@ -692,6 +756,295 @@ class Core:
                 counts[Opcode.JNZ] = counts.get(Opcode.JNZ, 0) + 1
 
         return cycle, exit_pc
+
+    # ------------------------------------------------------------------
+    # Batched fast-loop engine
+    # ------------------------------------------------------------------
+    def _template_shell(self) -> "Core":
+        """A bare core sharing this core's timing/activity models.
+
+        Template capture steps real instructions through
+        :meth:`_step_instruction` on this shell so the recorded events
+        are exactly those of the reference interpreter, without touching
+        the measuring core's architectural or predictor state.  The
+        shell has no cache hierarchy — memory instructions are never
+        captured through it (their activity comes from
+        :meth:`_memory_template`), and any accidental access fails loudly.
+        """
+        shell = self._shell
+        if shell is None:
+            shell = object.__new__(Core)
+            shell.clock_hz = self.clock_hz
+            shell.timings = self.timings
+            shell.activity = self.activity
+            shell.hierarchy = None  # type: ignore[assignment]
+            shell.predictor = BranchPredictor()
+            shell.registers = {name: 0 for name in _REGISTER_NAMES}
+            shell.memory = {}
+            shell.zero_flag = False
+            self._shell = shell
+        return shell
+
+    def _capture_template(self, program, pcs, setup=None):
+        """Step ``pcs`` on the shell core; return (ActivityBlock, duration)."""
+        shell = self._template_shell()
+        shell.registers = {name: 0 for name in _REGISTER_NAMES}
+        shell.zero_flag = False
+        shell.predictor = BranchPredictor()
+        if setup is not None:
+            setup(shell)
+        recorder = ActivityRecorder(self.clock_hz)
+        scratch = ExecutionStats()
+        cycle = 0
+        for pc in pcs:
+            duration, _ = shell._step_instruction(program, pc, cycle, recorder, scratch)
+            cycle += duration
+        return recorder.extract_block(0, 0), cycle
+
+    def _loop_templates(self, program: Program, plan: FastLoopPlan) -> dict:
+        """Activity templates for one loop, captured once per (program, core)."""
+        key = (id(program), plan.head_pc)
+        entry = self._loop_template_cache.get(key)
+        if entry is not None and entry[0] is program:
+            return entry[1]
+
+        head = plan.head_pc
+        dec_pc = plan.jnz_pc - 1
+        jnz_pc = plan.jnz_pc
+        loop_reg = plan.loop_reg
+
+        def branch_setup(counter: int):
+            # loop_reg=5 makes DEC leave a non-zero count, so the branch
+            # is taken; the counter seeds predicted-taken (3) or
+            # predicted-not-taken (0) to select the epilogue variant.
+            def setup(shell: Core) -> None:
+                shell.registers[loop_reg] = 5
+                shell.predictor._counters[jnz_pc] = counter
+
+            return setup
+
+        templates: dict = {
+            "update": self._capture_template(program, range(head, head + 6)),
+            # Branch activity is direction-independent (only the
+            # mispredict flush differs), so one taken-branch capture per
+            # variant covers the not-taken final iteration too.
+            "branch": {
+                False: self._capture_template(program, (dec_pc, jnz_pc), branch_setup(3)),
+                True: self._capture_template(program, (dec_pc, jnz_pc), branch_setup(0)),
+            },
+            "memory": {},
+        }
+        test = plan.test
+        if test is not None and test.kind not in ("load", "store"):
+            templates["test"] = self._capture_template(program, (head + 6,))
+        self._loop_template_cache[key] = (program, templates)
+        return templates
+
+    def _memory_template(
+        self, templates: dict, signature: tuple[int, int, int], is_write: bool
+    ):
+        """Template for one cache-outcome signature of a memory test slot.
+
+        ``signature`` is ``(level_code, l2_accesses, offchip_transfers)``
+        as produced by :meth:`MemoryHierarchy.access_stream_reports`.
+        The events depend only on the access report, never on cache
+        state, so synthesizing the report directly is equivalent to
+        capturing a live access with that outcome.
+        """
+        entry = templates["memory"].get(signature)
+        if entry is None:
+            level_code, l2_accesses, offchip = signature
+            latencies = self.hierarchy.latencies
+            report = MemoryAccessReport(
+                level=_LEVEL_NAMES[level_code],
+                latency_cycles=(
+                    latencies.l1_cycles,
+                    latencies.l2_cycles,
+                    latencies.memory_cycles,
+                )[level_code],
+                l2_accesses=l2_accesses,
+                offchip_transfers=offchip,
+            )
+            recorder = ActivityRecorder(self.clock_hz)
+            activity = self.activity
+            recorder.add(Component.FETCH, 0, 1, activity.fetch)
+            recorder.add(Component.DECODE, 0, 1, activity.decode)
+            recorder.add(Component.REGFILE, 0, 1, activity.regfile)
+            recorder.add(Component.AGU, 0, 1, activity.agu_op)
+            recorder.add(Component.L1D, 0, 1, activity.l1_access)
+            if is_write:
+                recorder.add(Component.WB_BUFFER, 0, 1, activity.wb_buffer)
+            duration = self._memory_access_events(report, 0, recorder, ExecutionStats())
+            entry = (recorder.extract_block(0, 0), duration)
+            templates["memory"][signature] = entry
+        return entry
+
+    def _run_fast_loop_batched(
+        self,
+        program: Program,
+        plan: FastLoopPlan,
+        cycle: int,
+        recorder: ActivityRecorder,
+        stats: ExecutionStats,
+        total: int,
+    ) -> tuple[int, int]:
+        """Replay all ``total`` iterations with array operations.
+
+        The iteration schedule is closed-form: pointer lows advance
+        arithmetically, the two-bit predictor saturates after at most
+        two taken branches, and every iteration's duration is the sum of
+        its three segment templates.  Activity lands via
+        :meth:`ActivityRecorder.add_block_batch`; since
+        :meth:`ActivityRecorder.finish` orders by the event multiset,
+        the resulting trace is bit-identical to stepping or to the
+        stepwise replay.
+        """
+        registers = self.registers
+        test = plan.test
+        templates = self._loop_templates(program, plan)
+        update_block, update_duration = templates["update"]
+
+        mask = plan.mask
+        inv_mask = mask ^ WORD_MASK
+        pointer = registers[plan.ptr_reg]
+        high = pointer & inv_mask
+        low0 = pointer & mask
+        steps = np.arange(1, total + 1, dtype=np.int64)
+        lows = (low0 + steps * plan.offset) & mask
+
+        # --- Branch schedule: replicate the two-bit counter exactly ---
+        jnz_pc = plan.jnz_pc
+        counters = self.predictor._counters
+        counter = counters.get(jnz_pc, 1)
+        mispredicted = np.zeros(total, dtype=bool)
+        miss_count = 0
+        index = 0
+        while index < total:
+            taken = index != total - 1
+            if (counter >= 2) != taken:
+                mispredicted[index] = True
+                miss_count += 1
+            if taken:
+                if counter < 3:
+                    counter += 1
+            elif counter > 0:
+                counter -= 1
+            index += 1
+            if counter == 3 and index < total - 1:
+                # Saturated on a monotonically-taken run: every branch
+                # up to (but excluding) the exit predicts correctly.
+                index = total - 1
+        counters[jnz_pc] = counter
+        predictor_stats = self.predictor.stats
+        predictor_stats.predictions += total
+        predictor_stats.mispredictions += miss_count
+
+        pred_block, pred_duration = templates["branch"][False]
+        misp_block, misp_duration = templates["branch"][True]
+        branch_durations = np.where(mispredicted, misp_duration, pred_duration)
+
+        # --- Test-slot outcomes and durations ---------------------------
+        addresses = None
+        signature_keys = None
+        if test is None:
+            test_durations: np.ndarray | int = 0
+        elif test.kind in ("load", "store"):
+            addresses = ((high | lows) + test.displacement) & WORD_MASK
+            level, l2_counts, offchip = self.hierarchy.access_stream_reports(
+                addresses, test.is_write
+            )
+            latencies = self.hierarchy.latencies
+            test_durations = np.where(
+                level == 0,
+                1,
+                np.where(level == 1, latencies.l2_cycles, latencies.memory_cycles),
+            )
+            # Compact per-access signature (l2_accesses <= 3, offchip <= 3).
+            signature_keys = level * 100 + l2_counts * 10 + offchip
+        else:
+            test_block, test_duration = templates["test"]
+            test_durations = test_duration
+
+        iteration_durations = update_duration + test_durations + branch_durations
+        ends = np.cumsum(iteration_durations)
+        update_bases = cycle + ends - iteration_durations
+        test_bases = update_bases + update_duration
+        branch_bases = test_bases + test_durations
+        end_cycle = cycle + int(ends[-1])
+
+        # --- Deposit activity -------------------------------------------
+        recorder.add_block_batch(update_block, update_bases)
+        if test is not None:
+            if signature_keys is not None:
+                level_counts = stats.level_counts
+                for key in np.unique(signature_keys).tolist():
+                    selector = signature_keys == key
+                    block, _ = self._memory_template(
+                        templates, (key // 100, (key // 10) % 10, key % 10), test.is_write
+                    )
+                    recorder.add_block_batch(block, test_bases[selector])
+                    name = _LEVEL_NAMES[key // 100]
+                    level_counts[name] = level_counts.get(name, 0) + int(selector.sum())
+            else:
+                recorder.add_block_batch(test_block, test_bases)
+        if miss_count != total:
+            recorder.add_block_batch(pred_block, branch_bases[~mispredicted])
+        if miss_count:
+            recorder.add_block_batch(misp_block, branch_bases[mispredicted])
+
+        # --- Architectural effects --------------------------------------
+        final_low = int(lows[-1])
+        new_pointer = high | final_low
+        registers[plan.scratch1] = final_low
+        registers[plan.scratch2] = new_pointer
+        registers[plan.ptr_reg] = new_pointer
+        registers[plan.loop_reg] = 0
+        self.zero_flag = True
+        if test is not None:
+            kind = test.kind
+            if kind == "store":
+                immediate = test.immediate
+                self.memory.update(
+                    (address, immediate) for address in addresses.tolist()
+                )
+            elif kind == "load":
+                registers[test.dest_name] = self.memory.get(int(addresses[-1]), 0)
+            elif kind == "alu":
+                value = registers[test.dest_name]
+                opcode = test.opcode
+                immediate = test.immediate
+                for _ in range(total):
+                    value = self._alu(opcode, value, immediate)
+                registers[test.dest_name] = value
+            elif kind == "imul":
+                value = registers[test.dest_name]
+                immediate = test.immediate
+                for _ in range(total):
+                    value = (value * immediate) & WORD_MASK
+                registers[test.dest_name] = value
+            else:  # idiv: mirror the per-iteration semantics exactly
+                dest = test.dest_name
+                for _ in range(total):
+                    divisor = registers[dest]
+                    if divisor == 0:
+                        divisor = 1
+                    dividend = registers["eax"]
+                    registers["eax"] = (dividend // divisor) & WORD_MASK
+                    registers["edx"] = (dividend % divisor) & WORD_MASK
+
+        # --- Statistics --------------------------------------------------
+        stats.instructions += total * plan.body_len
+        counts = stats.opcode_counts
+        counts[Opcode.LEA] = counts.get(Opcode.LEA, 0) + total
+        counts[Opcode.AND] = counts.get(Opcode.AND, 0) + 2 * total
+        counts[Opcode.MOV] = counts.get(Opcode.MOV, 0) + 2 * total
+        counts[Opcode.OR] = counts.get(Opcode.OR, 0) + total
+        counts[Opcode.DEC] = counts.get(Opcode.DEC, 0) + total
+        counts[Opcode.JNZ] = counts.get(Opcode.JNZ, 0) + total
+        if test is not None:
+            counts[test.opcode] = counts.get(test.opcode, 0) + total
+            stats.test_instructions += total
+        return end_cycle, plan.jnz_pc + 1
 
     def _execute(
         self,

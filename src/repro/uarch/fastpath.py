@@ -26,7 +26,14 @@ from typing import Iterator
 #: Environment variable that disables the fast path when set truthy.
 REFERENCE_PATH_ENV = "SAVAT_REFERENCE_PATH"
 
+#: Environment variable that disables periodic steady-state extrapolation
+#: during sweep priming when set falsy (it is on by default; the result
+#: is bit-identical either way, so this knob exists for debugging and for
+#: timing the pure wavefront replay).
+PRIME_EXTRAPOLATE_ENV = "SAVAT_PRIME_EXTRAPOLATE"
+
 _TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off"}
 
 #: Per-process override installed by the context managers (None: follow
 #: the environment).
@@ -38,6 +45,11 @@ def fast_path_enabled() -> bool:
     if _forced is not None:
         return _forced
     return os.environ.get(REFERENCE_PATH_ENV, "").strip().lower() not in _TRUTHY
+
+
+def prime_extrapolation_enabled() -> bool:
+    """True when sweep priming may extrapolate the pass-periodic steady state."""
+    return os.environ.get(PRIME_EXTRAPOLATE_ENV, "").strip().lower() not in _FALSY
 
 
 def set_fast_path(enabled: bool | None) -> None:
@@ -69,8 +81,10 @@ def use_fast_path() -> Iterator[None]:
 
 
 __all__ = [
+    "PRIME_EXTRAPOLATE_ENV",
     "REFERENCE_PATH_ENV",
     "fast_path_enabled",
+    "prime_extrapolation_enabled",
     "set_fast_path",
     "use_fast_path",
     "use_reference_path",

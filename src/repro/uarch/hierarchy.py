@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.uarch.cache import Cache, CacheGeometry, _Line
+from repro.uarch.cache import Cache, CacheGeometry, replay_stream
 
 
 @dataclass(frozen=True)
@@ -142,6 +142,108 @@ class MemoryHierarchy:
             l2_writeback=l2_writeback,
         )
 
+    def _normalize_stream(self, addresses, is_write) -> tuple[np.ndarray, np.ndarray]:
+        address_array = np.ascontiguousarray(addresses, dtype=np.int64)
+        if address_array.ndim != 1:
+            raise ConfigurationError("access_stream expects a 1-D address stream")
+        count = address_array.shape[0]
+        if isinstance(is_write, (bool, np.bool_)):
+            writes = np.broadcast_to(np.bool_(is_write), (count,))
+        else:
+            writes = np.ascontiguousarray(is_write, dtype=bool)
+            if writes.shape != (count,):
+                raise ConfigurationError(
+                    "is_write must be a bool or match the address stream length"
+                )
+        return address_array, writes
+
+    def _replay(
+        self, address_array: np.ndarray, writes: np.ndarray, want_reports: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Shared engine behind ``access_stream``/``access_stream_reports``.
+
+        Runs the whole stream through L1 in wavefronts, derives the exact
+        L2 access sequence the scalar path would have issued (dirty L1
+        victim write-back, then the demand fill, per L1 miss in stream
+        order), replays it through L2, and accounts off-chip transfers —
+        all with array operations, no per-access Python loop.
+        """
+        count = address_array.shape[0]
+        line = self.l1_geometry.line_bytes
+        n1 = self.l1_geometry.num_sets
+        n2 = self.l2_geometry.num_sets
+        line_ids = address_array // line
+        l1_sets = line_ids % n1
+
+        l1 = self.l1
+        l2 = self.l2
+        hit1, evict1, victim_tag1, victim_dirty1 = replay_stream(
+            l1._tags, l1._dirty, l1._occupancy, self.l1_geometry.ways,
+            l1_sets, line_ids // n1, writes,
+        )
+        l1_hits = int(hit1.sum())
+        l1_stats = l1.stats
+        l1_stats.accesses += count
+        l1_stats.hits += l1_hits
+        l1_stats.misses += count - l1_hits
+        l1_stats.fills += count - l1_hits
+        l1_stats.evictions += int(evict1.sum())
+        l1_stats.dirty_evictions += int(victim_dirty1.sum())
+
+        miss_idx = np.flatnonzero(~hit1)
+        if miss_idx.size == 0:
+            if want_reports:
+                zeros = np.zeros(count, dtype=np.int64)
+                return zeros, zeros.copy(), zeros.copy()
+            return None
+
+        # Build the L2 stream the scalar loop would produce: for each L1
+        # miss, first the dirty victim's write-back (if any), then the
+        # demand fill as a read.
+        wb = victim_dirty1[miss_idx]
+        wb_int = wb.astype(np.int64)
+        entry_counts = 1 + wb_int
+        offsets = np.concatenate(([0], np.cumsum(entry_counts[:-1])))
+        l2_total = int(entry_counts.sum())
+        l2_line_ids = np.empty(l2_total, dtype=np.int64)
+        l2_writes = np.zeros(l2_total, dtype=bool)
+        demand_pos = offsets + wb_int
+        l2_line_ids[demand_pos] = line_ids[miss_idx]
+        wb_pos = offsets[wb]
+        l2_line_ids[wb_pos] = victim_tag1[miss_idx][wb] * n1 + l1_sets[miss_idx][wb]
+        l2_writes[wb_pos] = True
+
+        hit2, evict2, _victim_tag2, victim_dirty2 = replay_stream(
+            l2._tags, l2._dirty, l2._occupancy, self.l2_geometry.ways,
+            l2_line_ids % n2, l2_line_ids // n2, l2_writes,
+        )
+        l2_hits = int(hit2.sum())
+        l2_stats = l2.stats
+        l2_stats.accesses += l2_total
+        l2_stats.hits += l2_hits
+        l2_stats.misses += l2_total - l2_hits
+        l2_stats.fills += l2_total - l2_hits
+        l2_stats.evictions += int(evict2.sum())
+        l2_stats.dirty_evictions += int(victim_dirty2.sum())
+
+        # Off-chip: every demand L2 miss fetches a line, and every dirty
+        # L2 eviction (write-back or demand fill) pushes one out.
+        offchip_per_entry = victim_dirty2.astype(np.int64) + (~hit2 & ~l2_writes)
+        self.offchip_accesses += int(offchip_per_entry.sum())
+
+        if not want_reports:
+            return None
+        demand_hit = hit2[demand_pos]
+        level = np.zeros(count, dtype=np.int64)
+        level[miss_idx] = np.where(demand_hit, 1, 2)
+        l2_accesses = np.zeros(count, dtype=np.int64)
+        l2_accesses[miss_idx] = entry_counts
+        per_miss_offchip = offchip_per_entry[demand_pos]
+        per_miss_offchip[wb] += offchip_per_entry[wb_pos]
+        offchip = np.zeros(count, dtype=np.int64)
+        offchip[miss_idx] = per_miss_offchip
+        return level, l2_accesses, offchip
+
     def access_stream(self, addresses, is_write) -> None:
         """Replay a whole address stream through the hierarchy, batched.
 
@@ -149,10 +251,11 @@ class MemoryHierarchy:
         updates as calling :meth:`access` once per element — the final
         L1/L2 contents (tags, dirty bits, LRU order), all cache
         counters, and ``offchip_accesses`` are bit-identical — but the
-        per-access set-index/tag arithmetic is vectorized up front with
-        NumPy and the remaining bookkeeping runs in one tight loop with
-        no per-access report objects.  The sweep-priming fast path uses
-        this to collapse millions of warm-up accesses.
+        whole stream is processed with the set-grouped wavefront engine
+        (:func:`repro.uarch.cache.replay_stream`): no per-access Python
+        loop, no list round-trips, no per-access report objects.  The
+        sweep-priming fast path uses this to collapse millions of
+        warm-up accesses.
 
         Parameters
         ----------
@@ -162,135 +265,107 @@ class MemoryHierarchy:
             A single bool applied to every access, or a boolean sequence
             of the same length as ``addresses``.
         """
-        address_array = np.ascontiguousarray(addresses, dtype=np.int64)
-        if address_array.ndim != 1:
-            raise ConfigurationError("access_stream expects a 1-D address stream")
-        count = address_array.shape[0]
-        if count == 0:
+        address_array, writes = self._normalize_stream(addresses, is_write)
+        if address_array.shape[0] == 0:
             return
-        if isinstance(is_write, (bool, np.bool_)):
-            writes = [bool(is_write)] * count
-        else:
-            write_array = np.ascontiguousarray(is_write, dtype=bool)
-            if write_array.shape != (count,):
-                raise ConfigurationError(
-                    "is_write must be a bool or match the address stream length"
-                )
-            writes = write_array.tolist()
+        self._replay(address_array, writes, want_reports=False)
 
-        line = self.l1_geometry.line_bytes
+    def access_stream_reports(
+        self, addresses, is_write
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`access_stream`, but return per-access report arrays.
+
+        Returns ``(level, l2_accesses, offchip_transfers)`` int64 arrays
+        in stream order, where ``level`` codes the servicing level as
+        0 = L1, 1 = L2, 2 = MEM — the fields of
+        :class:`MemoryAccessReport` that determine latency and activity.
+        The steady-state loop replay uses this to cost a whole loop's
+        memory accesses in one call.
+        """
+        address_array, writes = self._normalize_stream(addresses, is_write)
+        if address_array.shape[0] == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        reports = self._replay(address_array, writes, want_reports=True)
+        assert reports is not None
+        return reports
+
+    # ------------------------------------------------------------------
+    # Periodic steady-state (ring shift) support
+    # ------------------------------------------------------------------
+    def ring_shift_eligible(self, rings: list[tuple[int, int]]) -> bool:
+        """True when advancing every ring by ``c`` slots is a cache isomorphism.
+
+        Each ring is ``(base_line_id, num_slots)``.  The per-ring rotation
+        moves sets uniformly — preserving set structure, intra-set LRU
+        order, and dirty bits — iff every ring's slot count is a multiple
+        of both levels' set counts.
+        """
         n1 = self.l1_geometry.num_sets
         n2 = self.l2_geometry.num_sets
-        ways1 = self.l1_geometry.ways
-        ways2 = self.l2_geometry.ways
+        return bool(rings) and all(
+            slots > 0 and slots % n1 == 0 and slots % n2 == 0 for _base, slots in rings
+        )
 
-        line_ids = address_array // line
-        l1_set_list = (line_ids % n1).tolist()
-        l1_tag_list = (line_ids // n1).tolist()
-        l2_set_list = (line_ids % n2).tolist()
-        l2_tag_list = (line_ids // n2).tolist()
+    def ring_shift_plan(
+        self, rings: list[tuple[int, int]]
+    ) -> list[tuple[int, int]] | None:
+        """Eligibility with a dynamic escape hatch for L1-sized rings.
 
-        l1_sets = self.l1._sets
-        l2_sets = self.l2._sets
-        l1_stats = self.l1.stats
-        l2_stats = self.l2.stats
-        l1_accesses = l1_hits = l1_misses = 0
-        l1_evictions = l1_dirty_evictions = l1_fills = 0
-        l2_accesses = l2_hits = l2_misses = 0
-        l2_evictions = l2_dirty_evictions = l2_fills = 0
-        offchip = 0
+        Returns ``None`` when the rotation can never be an isomorphism
+        (some ring's slot count is not a multiple of the L1 set count —
+        every accessed line passes through L1, so L1 divisibility is
+        unconditional).  Otherwise returns the sub-list of rings whose
+        slot count is *not* a multiple of the L2 set count: for those the
+        rotation is sound only while none of their lines are resident in
+        L2 (then the L2 half of the map is vacuous), which the caller
+        must verify with :meth:`rings_absent_from_l2` at every snapshot
+        it compares or shifts.  An empty list means unconditionally
+        eligible.
+        """
+        n1 = self.l1_geometry.num_sets
+        n2 = self.l2_geometry.num_sets
+        if not rings or any(slots <= 0 or slots % n1 != 0 for _base, slots in rings):
+            return None
+        return [ring for ring in rings if ring[1] % n2 != 0]
 
-        for s1, t1, s2, t2, write in zip(
-            l1_set_list, l1_tag_list, l2_set_list, l2_tag_list, writes
-        ):
-            # --- L1 access (mirror of Cache.access) ---
-            cache_set = l1_sets[s1]
-            l1_accesses += 1
-            hit = False
-            for position, entry in enumerate(cache_set):
-                if entry.tag == t1:
-                    l1_hits += 1
-                    if write:
-                        entry.dirty = True
-                    cache_set.append(cache_set.pop(position))
-                    hit = True
-                    break
-            if hit:
-                continue
-            l1_misses += 1
-            l1_fills += 1
-            victim_dirty = False
-            victim_line_id = -1
-            if len(cache_set) >= ways1:
-                victim = cache_set.pop(0)
-                l1_evictions += 1
-                victim_dirty = victim.dirty
-                if victim_dirty:
-                    l1_dirty_evictions += 1
-                    victim_line_id = victim.tag * n1 + s1
-            cache_set.append(_Line(t1, write))
+    def rings_absent_from_l2(self, rings: list[tuple[int, int]]) -> bool:
+        """True when no line of any listed ring is currently valid in L2."""
+        return not any(self.l2.holds_lines_in_range(base, slots) for base, slots in rings)
 
-            # --- Dirty L1 victim written back into L2 before the fill
-            # (same order as MemoryHierarchy.access) ---
-            if victim_dirty:
-                vs2 = victim_line_id % n2
-                vt2 = victim_line_id // n2
-                victim_set = l2_sets[vs2]
-                l2_accesses += 1
-                wb_hit = False
-                for position, entry in enumerate(victim_set):
-                    if entry.tag == vt2:
-                        l2_hits += 1
-                        entry.dirty = True
-                        victim_set.append(victim_set.pop(position))
-                        wb_hit = True
-                        break
-                if not wb_hit:
-                    l2_misses += 1
-                    l2_fills += 1
-                    if len(victim_set) >= ways2:
-                        l2_victim = victim_set.pop(0)
-                        l2_evictions += 1
-                        if l2_victim.dirty:
-                            l2_dirty_evictions += 1
-                            offchip += 1
-                    victim_set.append(_Line(vt2, True))
+    def canonical_ring_state(self, rings: list[tuple[int, int]], shift: int):
+        """Hierarchy state with all ring lines shifted — a comparable snapshot.
 
-            # --- Demand fill from L2 (or beyond); demand is a read ---
-            demand_set = l2_sets[s2]
-            l2_accesses += 1
-            demand_hit = False
-            for position, entry in enumerate(demand_set):
-                if entry.tag == t2:
-                    l2_hits += 1
-                    demand_set.append(demand_set.pop(position))
-                    demand_hit = True
-                    break
-            if not demand_hit:
-                l2_misses += 1
-                l2_fills += 1
-                offchip += 1
-                if len(demand_set) >= ways2:
-                    l2_victim = demand_set.pop(0)
-                    l2_evictions += 1
-                    if l2_victim.dirty:
-                        l2_dirty_evictions += 1
-                        offchip += 1
-                demand_set.append(_Line(t2, False))
+        Shifting by the *negative* of the slots already swept yields a
+        pass-invariant canonical form: two snapshots taken a whole number
+        of passes apart are equal exactly when the hierarchy has entered
+        its pass-periodic steady state.
+        """
+        return (
+            self.l1.ring_shifted_state(rings, shift),
+            self.l2.ring_shifted_state(rings, shift),
+        )
 
-        l1_stats.accesses += l1_accesses
-        l1_stats.hits += l1_hits
-        l1_stats.misses += l1_misses
-        l1_stats.evictions += l1_evictions
-        l1_stats.dirty_evictions += l1_dirty_evictions
-        l1_stats.fills += l1_fills
-        l2_stats.accesses += l2_accesses
-        l2_stats.hits += l2_hits
-        l2_stats.misses += l2_misses
-        l2_stats.evictions += l2_evictions
-        l2_stats.dirty_evictions += l2_dirty_evictions
-        l2_stats.fills += l2_fills
-        self.offchip_accesses += offchip
+    def apply_ring_shift(self, rings: list[tuple[int, int]], shift: int) -> None:
+        """Advance every ring-resident line by ``shift`` slots, in place."""
+        self.l1.apply_ring_shift(rings, shift)
+        self.l2.apply_ring_shift(rings, shift)
+
+    def counters(self) -> tuple[dict, dict, int]:
+        """Snapshot of every hierarchy counter (both levels + off-chip)."""
+        return (
+            vars(self.l1.stats).copy(),
+            vars(self.l2.stats).copy(),
+            self.offchip_accesses,
+        )
+
+    def add_counters(self, delta: tuple[dict, dict, int], times: int = 1) -> None:
+        """Add ``times`` multiples of a counter delta (see :meth:`counters`)."""
+        l1_delta, l2_delta, offchip_delta = delta
+        for stats, values in ((self.l1.stats, l1_delta), (self.l2.stats, l2_delta)):
+            for name, value in values.items():
+                setattr(stats, name, getattr(stats, name) + value * times)
+        self.offchip_accesses += offchip_delta * times
 
     def warm(self, addresses: list[int], is_write: bool) -> None:
         """Touch ``addresses`` once each to pre-condition cache state.
