@@ -41,12 +41,69 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="disable the result cache even if --cache-dir or "
         "$SAVAT_CACHE_DIR is set",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-cell retry budget for transient worker faults; retries "
+        "replay the cell's original seed, so results are unchanged "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell attempt; with --workers >= 2 a "
+        "hung cell is abandoned and retried on a fresh worker "
+        "(default: no budget)",
+    )
+    parser.add_argument(
+        "--journal",
+        nargs="?",
+        const=True,
+        default=os.environ.get("SAVAT_JOURNAL"),
+        metavar="FILE",
+        help="stream completed cells to a campaign journal for --resume; "
+        "without FILE the journal lives inside the cache's campaign "
+        "directory (default: $SAVAT_JOURNAL, no journaling if unset)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed cells from the campaign journal instead of "
+        "recomputing them (implies --journal)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=os.environ.get("SAVAT_INJECT_FAULTS"),
+        metavar="SPEC",
+        help="debug: deterministically inject worker faults, e.g. "
+        "'raise@0,1;hang@1,2:2;corrupt@2,0' "
+        "(default: $SAVAT_INJECT_FAULTS)",
+    )
 
 
 def _campaign_execution_kwargs(args: argparse.Namespace) -> dict:
     """Executor keyword arguments shared by campaign-running commands."""
+    from repro.core.faults import FaultPlan
+
     cache_dir = None if args.no_cache else args.cache_dir
-    return {"workers": args.workers, "cache_dir": cache_dir}
+    journal = args.journal
+    if args.resume and journal is None:
+        journal = True
+    return {
+        "workers": args.workers,
+        "cache_dir": cache_dir,
+        "max_retries": args.max_retries,
+        "cell_timeout_s": args.cell_timeout,
+        "journal": journal,
+        "resume": args.resume,
+        "fault_plan": (
+            FaultPlan.from_spec(args.inject_faults) if args.inject_faults else None
+        ),
+    }
 
 
 def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -126,6 +183,18 @@ def _command_campaign(args: argparse.Namespace) -> int:
                 )
             )
             print(f"simulation time by phase: {breakdown}")
+        print(
+            f"robustness: {execution['resumed']} cell(s) resumed from the "
+            f"journal, {execution['retries']} retry(ies), "
+            f"{execution['timeouts']} timeout(s), "
+            f"{execution['quarantined']} cache entry(ies) quarantined"
+        )
+        faults = execution.get("faults_injected") or {}
+        if faults:
+            fired = ", ".join(
+                f"{kind} x{count}" for kind, count in sorted(faults.items())
+            )
+            print(f"injected faults fired: {fired}")
     return 0
 
 

@@ -2,12 +2,14 @@
 
 from repro.core.campaign import PAPER_REPETITIONS, run_campaign, selected_pairings_means
 from repro.core.executor import (
+    CampaignJournal,
     CampaignStats,
     ResultCache,
     campaign_cache_key,
     execute_campaign,
     spawn_cell_seeds,
 )
+from repro.core.faults import CellFault, FaultInjectedError, FaultPlan
 from repro.core.clustering import (
     cluster_linkage,
     find_groups,
@@ -52,7 +54,11 @@ from repro.core.single_instruction import (
 
 __all__ = [
     "INSTRUCTION_EVENT_GROUPS",
+    "CampaignJournal",
     "CampaignStats",
+    "CellFault",
+    "FaultInjectedError",
+    "FaultPlan",
     "FrequencyRecommendation",
     "MeasurementConfig",
     "ResultCache",

@@ -21,7 +21,13 @@ from __future__ import annotations
 import os
 from collections.abc import Sequence
 
-from repro.core.executor import ProgressCallback, ResultCache, execute_campaign
+from repro.core.executor import (
+    DEFAULT_MAX_RETRIES,
+    ProgressCallback,
+    ResultCache,
+    execute_campaign,
+)
+from repro.core.faults import FaultPlan
 from repro.core.matrix import SavatMatrix
 from repro.core.savat import MeasurementConfig
 from repro.isa.events import EVENT_ORDER, InstructionEvent, get_event
@@ -41,6 +47,11 @@ def run_campaign(
     workers: int = 0,
     cache_dir: str | os.PathLike | None = None,
     cache: ResultCache | None = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    cell_timeout_s: float | None = None,
+    journal: str | os.PathLike | bool | None = None,
+    resume: bool | str | os.PathLike = False,
+    fault_plan: FaultPlan | None = None,
 ) -> SavatMatrix:
     """Measure the full pairwise SAVAT matrix.
 
@@ -74,13 +85,35 @@ def run_campaign(
     cache:
         A pre-built :class:`~repro.core.executor.ResultCache`;
         takes precedence over ``cache_dir``.
+    max_retries:
+        Transient-fault retry budget per cell; a retried cell replays
+        its original seed-schedule entry, so retries never change the
+        campaign's samples.
+    cell_timeout_s:
+        Wall-clock budget per cell attempt (preemptive when worker
+        processes are in use; see
+        :func:`repro.core.executor.execute_campaign`).
+    journal:
+        Campaign journal path (or ``True`` to keep it inside the
+        cache's campaign directory): completed cells are streamed to it
+        so an interrupted campaign can be resumed.
+    resume:
+        ``True`` to restore completed cells from ``journal``, or a
+        journal path (shorthand for setting ``journal`` and resuming).
+        A journal whose version or campaign key does not match raises
+        :class:`~repro.errors.JournalError`.
+    fault_plan:
+        Deterministic :class:`~repro.core.faults.FaultPlan` to inject
+        (testing/debugging only).
 
     Returns
     -------
     SavatMatrix
         All repetitions of all ordered pairings, in zJ.  The matrix
         metadata carries an ``"execution"`` entry with cache hit/miss
-        counters, worker count, and per-cell timings.
+        counters, worker count, per-cell timings, and the
+        fault-tolerance counters (retries, timeouts, quarantined and
+        resumed cells).
     """
     config = config or MeasurementConfig()
     if events is None:
@@ -90,6 +123,8 @@ def run_campaign(
     names = tuple(event.name for event in resolved)
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
+    if isinstance(resume, (str, os.PathLike)):
+        journal, resume = resume, True
 
     samples, stats = execute_campaign(
         machine,
@@ -100,6 +135,11 @@ def run_campaign(
         workers=workers,
         cache=cache,
         progress=progress,
+        max_retries=max_retries,
+        cell_timeout_s=cell_timeout_s,
+        journal=journal,
+        resume=bool(resume),
+        fault_plan=fault_plan,
     )
 
     return SavatMatrix(

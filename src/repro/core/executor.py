@@ -1,16 +1,44 @@
-"""Campaign execution engine: parallel fan-out, deterministic seeds, caching.
+"""Campaign execution engine: parallel fan-out, determinism, fault tolerance.
 
 The paper's case study is a large measurement fan-out — 11x11 ordered
 pairs x 10 repetitions x 3 machines x 3 distances — and every cell is
 independent of every other, so the engine here fans the cells of one
-campaign out across worker processes (chunked by matrix row) while
-keeping the results **bit-identical** to a serial run.
+campaign out across worker processes while keeping the results
+**bit-identical** to a serial run.
 
 Determinism comes from a per-cell seed schedule: the campaign seed
 expands through ``np.random.SeedSequence(seed).spawn(count * count)``
 and cell ``(i, j)`` always draws its noise from child ``i * count + j``,
 no matter which worker simulates it or in what order.  Serial and
-parallel execution therefore consume exactly the same random streams.
+parallel execution therefore consume exactly the same random streams —
+and so does a **retried** cell, because a retry replays the cell's
+original seed-schedule entry, making a campaign with N transient faults
+bit-identical to a fault-free run.
+
+A campaign that runs unattended for hours must survive partial failure,
+so the executor layers four recovery mechanisms over the fan-out:
+
+* **Per-cell retry** — a worker exception consumes one of the cell's
+  ``max_retries`` attempts and the cell is re-dispatched with its
+  original seed; only exhausting the budget (or a non-retryable
+  configuration error) aborts the campaign.
+* **Per-cell wall-clock timeouts** — with ``cell_timeout_s`` set and
+  worker processes in use, a cell that exceeds its budget is abandoned
+  (the hung worker's slot is written off until it comes back) and
+  retried on a fresh worker.  Serial in-process runs cannot preempt a
+  hung cell, so there the budget is only recorded post-hoc.
+* **Cache quarantine** — a corrupted, truncated, or wrong-shaped cache
+  entry is moved to ``<cache_dir>/quarantine/`` (never silently
+  deleted) and the cell is recomputed.
+* **Campaign journaling** — every completed cell is streamed to an
+  append-only JSONL journal, so an interrupted campaign can be resumed
+  from the last completed cell instead of from zero, including after a
+  fatal error (completed cells are journaled before the re-raise).
+
+Fault injection for all of the above lives in
+:mod:`repro.core.faults`: a :class:`~repro.core.faults.FaultPlan`
+deterministically raises, hangs, or corrupts at chosen cells, which is
+how the recovery paths are tested end to end.
 
 The engine also maintains an on-disk result cache.  Each cell's
 repetition samples are stored as an ``.npz`` file under a directory
@@ -19,8 +47,9 @@ named by a content hash of everything that determines the cell's value
 the ordered event list, the repetition count, the campaign seed, and
 the cell index).  Re-running a campaign the benchmarks have already
 measured loads every cell from disk and performs zero simulations;
-hit/miss counters and per-cell timings are reported through
-:class:`CampaignStats` and the returned matrix metadata.
+hit/miss counters, per-cell timings, and the fault-tolerance counters
+are reported through :class:`CampaignStats` and the returned matrix
+metadata.
 """
 
 from __future__ import annotations
@@ -31,14 +60,17 @@ import json
 import os
 import tempfile
 import time
+from collections import deque
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.codegen.frequency import FrequencyPlan
+from repro.core.faults import CORRUPT_PAYLOAD, CellFault, FaultPlan
 from repro.core.savat import (
     MeasurementConfig,
     _plan_pair,
@@ -46,13 +78,20 @@ from repro.core.savat import (
     record_phase_seconds,
     simulate_alternation_period,
 )
-from repro.errors import ConfigurationError
+from repro.errors import CellExecutionError, ConfigurationError, JournalError
 from repro.isa.events import InstructionEvent
 from repro.machines.calibrated import CalibratedMachine
 
 #: Bump whenever the cache layout or the seeding discipline changes;
 #: old entries then miss instead of replaying stale numbers.
 CACHE_SCHEMA_VERSION = 1
+
+#: Bump whenever the journal line format changes; a resume against a
+#: journal written by another version is rejected, never reinterpreted.
+JOURNAL_VERSION = 1
+
+#: Default per-cell retry budget for transient worker faults.
+DEFAULT_MAX_RETRIES = 2
 
 ProgressCallback = Callable[[str, str, int, int], None]
 
@@ -95,11 +134,25 @@ class CampaignStats:
         Both stay zero when no cache is configured.
     cells_simulated:
         Cells that actually ran the kernel simulation (always equals
-        ``cache_misses`` when a cache is in use).
+        ``cache_misses`` when a cache is in use and nothing is resumed).
     workers:
         Worker processes the fan-out used (1 means serial).
     wall_seconds:
         Wall-clock duration of the whole campaign execution.
+    retries:
+        Cell attempts that were re-dispatched after a transient worker
+        fault or timeout; each retry replays the cell's original seed.
+    timeouts:
+        Cell attempts that exceeded the ``cell_timeout_s`` budget.
+    quarantined:
+        Corrupted or truncated cache entries moved to the cache's
+        quarantine directory (and recomputed) during this execution.
+    resumed:
+        Cells restored from the campaign journal instead of being
+        simulated or loaded from the cache.
+    faults_injected:
+        Faults fired by an injected :class:`~repro.core.faults.FaultPlan`,
+        keyed by kind; empty for production runs.
     cell_seconds:
         Per-cell simulation time keyed by ``"A/B"`` (cache hits record
         their load time, effectively ~0).
@@ -115,6 +168,11 @@ class CampaignStats:
     cells_simulated: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    resumed: int = 0
+    faults_injected: dict[str, int] = field(default_factory=dict)
     cell_seconds: dict[str, float] = field(default_factory=dict)
     cell_phase_seconds: dict[str, dict[str, float]] = field(default_factory=dict)
 
@@ -132,6 +190,10 @@ class CampaignStats:
                 name: float(seconds) for name, seconds in phase_seconds.items()
             }
 
+    def record_fault(self, kind: str) -> None:
+        """Count one injected fault firing."""
+        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+
     def phase_seconds(self) -> dict[str, float]:
         """Campaign-wide totals of the per-cell phase breakdown."""
         totals: dict[str, float] = {}
@@ -148,6 +210,11 @@ class CampaignStats:
             "cells_simulated": self.cells_simulated,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "resumed": self.resumed,
+            "faults_injected": dict(self.faults_injected),
             "cell_seconds": dict(self.cell_seconds),
             "cell_phase_seconds": {
                 pair: dict(phases)
@@ -177,7 +244,9 @@ def campaign_cache_key(
 
     Any change to the machine, distance, measurement configuration,
     ordered event list, repetition count, or seed changes the key, so
-    stale entries can never be mistaken for current ones.
+    stale entries can never be mistaken for current ones.  The same key
+    identifies the campaign's journal, so a resume against results from
+    a different campaign is rejected instead of replayed.
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
@@ -192,19 +261,52 @@ def campaign_cache_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
+def _atomic_write(directory: Path, target: Path, writer: Callable) -> None:
+    """Write ``target`` via a same-directory temp file and ``os.replace``.
+
+    ``writer`` receives the open binary/text handle.  The handle is
+    flushed and fsynced before the rename, so a worker killed mid-write
+    can never leave a truncated file under the target name — the worst
+    case is an orphaned ``*.tmp`` file.
+    """
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=directory, prefix=target.stem + "_", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
 class ResultCache:
     """Per-cell campaign results persisted under a cache directory.
 
     Layout: ``<cache_dir>/<campaign_key>/cell_<i>_<j>.npz`` holding the
     cell's repetition samples, plus a human-readable ``manifest.json``
     describing the campaign the key hashes.  Writes go through a
-    temporary file and :func:`os.replace`, so concurrent workers (or
-    concurrent campaigns) never observe half-written entries; unreadable
-    or wrong-shaped entries are discarded and re-simulated.
+    temporary file, ``fsync``, and :func:`os.replace`, so concurrent
+    workers (or a worker killed mid-write) never leave a truncated
+    entry under a live name.
+
+    Unreadable, truncated, or wrong-shaped entries are **quarantined**:
+    moved to ``<cache_dir>/quarantine/<campaign_key>_<name>`` for post
+    mortem inspection — never silently deleted — and the cell is
+    re-simulated.  Quarantine moves are counted on ``quarantine_count``
+    and listed in ``quarantined_paths``.
     """
 
     def __init__(self, cache_dir: str | os.PathLike) -> None:
         self.cache_dir = Path(cache_dir).expanduser()
+        self.quarantine_count = 0
+        self.quarantined_paths: list[Path] = []
 
     def campaign_dir(self, key: str) -> Path:
         """Directory holding one campaign's cells."""
@@ -214,11 +316,39 @@ class ResultCache:
         """File path of one cell's samples."""
         return self.campaign_dir(key) / f"cell_{i:03d}_{j:03d}.npz"
 
+    def quarantine_dir(self) -> Path:
+        """Directory corrupt entries are moved to (shared by campaigns)."""
+        return self.cache_dir / "quarantine"
+
+    def quarantine(self, key: str, path: Path) -> Path | None:
+        """Move a bad cache entry into the quarantine directory.
+
+        The entry keeps its campaign key as a filename prefix, and an
+        existing quarantined file of the same name is never overwritten
+        (a numeric suffix is appended instead), so repeated corruption
+        of the same cell stays individually inspectable.
+        """
+        quarantine_dir = self.quarantine_dir()
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        base = f"{key}_{path.name}"
+        target = quarantine_dir / base
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = quarantine_dir / f"{base}.{suffix}"
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            return None
+        self.quarantine_count += 1
+        self.quarantined_paths.append(target)
+        return target
+
     def load_cell(self, key: str, i: int, j: int, repetitions: int) -> np.ndarray | None:
         """Load one cell's samples, or ``None`` on a miss.
 
         A corrupted, truncated, or wrong-shaped file counts as a miss:
-        the entry is deleted and the caller re-simulates the cell.
+        the entry is quarantined and the caller re-simulates the cell.
         """
         path = self.cell_path(key, i, j)
         try:
@@ -227,10 +357,10 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except Exception:  # noqa: BLE001 — any unreadable entry is a miss
-            path.unlink(missing_ok=True)
+            self.quarantine(key, path)
             return None
         if samples.shape != (repetitions,) or not np.all(np.isfinite(samples)):
-            path.unlink(missing_ok=True)
+            self.quarantine(key, path)
             return None
         return samples
 
@@ -238,19 +368,12 @@ class ResultCache:
         """Atomically persist one cell's samples."""
         directory = self.campaign_dir(key)
         directory.mkdir(parents=True, exist_ok=True)
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=directory, prefix=f"cell_{i:03d}_{j:03d}_", suffix=".tmp"
+        payload = np.asarray(samples, dtype=np.float64)
+        _atomic_write(
+            directory,
+            self.cell_path(key, i, j),
+            lambda handle: np.savez(handle, samples_zj=payload),
         )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                np.savez(handle, samples_zj=np.asarray(samples, dtype=np.float64))
-            os.replace(temp_name, self.cell_path(key, i, j))
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
 
     def write_manifest(self, key: str, payload: dict) -> None:
         """Record what a campaign key means, for humans debugging the cache."""
@@ -259,19 +382,159 @@ class ResultCache:
         path = directory / "manifest.json"
         if path.exists():
             return
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=directory, prefix="manifest_", suffix=".tmp"
+        _atomic_write(
+            directory,
+            path,
+            lambda handle: handle.write(
+                json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+            ),
         )
-        try:
-            with os.fdopen(descriptor, "w") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-            os.replace(temp_name, path)
-        except BaseException:
+
+
+# ----------------------------------------------------------------------
+# Campaign journal (checkpoint / resume)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _JournalEntry:
+    """One completed cell restored from a journal."""
+
+    samples: np.ndarray
+    elapsed_s: float
+    phase_seconds: dict[str, float]
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint of a campaign's completed cells.
+
+    The first line is a header binding the journal to one campaign (via
+    :data:`JOURNAL_VERSION` and the campaign's content-hash key); every
+    further line records one completed cell's samples at full float64
+    precision (``repr`` round-trip, so a resumed cell is bit-identical
+    to the original).  Cells are flushed and fsynced as they complete,
+    so a campaign killed at any instant loses at most the cell that was
+    in flight — a torn trailing line is tolerated and recomputed.
+
+    A resume against a journal whose version or campaign key does not
+    match is rejected with :class:`~repro.errors.JournalError` rather
+    than replayed.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path).expanduser()
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    def start(self, header: dict, resume: bool) -> dict[tuple[int, int], _JournalEntry]:
+        """Open the journal and return already-completed cells.
+
+        With ``resume`` false (or no journal file yet), a fresh journal
+        is written with the given header and no cells are restored.
+        With ``resume`` true, the existing journal is validated against
+        the header and its completed cells are returned; new cells are
+        appended after them.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        entries: dict[tuple[int, int], _JournalEntry] = {}
+        if resume and self.path.exists():
+            entries = self._load(header)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        else:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._append_line({"kind": "header", **header})
+        return entries
+
+    def _load(self, header: dict) -> dict[tuple[int, int], _JournalEntry]:
+        repetitions = int(header["repetitions"])
+        entries: dict[tuple[int, int], _JournalEntry] = {}
+        with open(self.path, encoding="utf-8") as handle:
+            first = handle.readline()
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+                recorded = json.loads(first)
+            except json.JSONDecodeError as error:
+                raise JournalError(
+                    f"journal {self.path} has an unreadable header; refusing "
+                    "to resume (delete or point --journal elsewhere)"
+                ) from error
+            if recorded.get("kind") != "header":
+                raise JournalError(
+                    f"journal {self.path} does not start with a header line"
+                )
+            if recorded.get("journal_version") != header["journal_version"]:
+                raise JournalError(
+                    f"journal {self.path} has version "
+                    f"{recorded.get('journal_version')!r} but this executor "
+                    f"writes version {header['journal_version']}; refusing "
+                    "to reinterpret it"
+                )
+            if recorded.get("campaign_key") != header["campaign_key"]:
+                raise JournalError(
+                    f"journal {self.path} belongs to a different campaign "
+                    f"(key {recorded.get('campaign_key')!r}, expected "
+                    f"{header['campaign_key']!r}); machine, distance, config, "
+                    "events, repetitions, and seed must all match to resume"
+                )
+            for line in handle:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn trailing line from a killed campaign: the
+                    # in-flight cell is simply recomputed.
+                    continue
+                if record.get("kind") != "cell":
+                    continue
+                try:
+                    i, j = int(record["i"]), int(record["j"])
+                    samples = np.asarray(record["samples_zj"], dtype=np.float64)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if samples.shape != (repetitions,) or not np.all(np.isfinite(samples)):
+                    continue
+                entries[(i, j)] = _JournalEntry(
+                    samples=samples,
+                    elapsed_s=float(record.get("elapsed_s", 0.0)),
+                    phase_seconds={
+                        name: float(seconds)
+                        for name, seconds in (record.get("phase_seconds") or {}).items()
+                    },
+                )
+        return entries
+
+    # ------------------------------------------------------------------
+    def append_cell(
+        self,
+        i: int,
+        j: int,
+        samples: np.ndarray,
+        elapsed_s: float,
+        phase_seconds: dict[str, float] | None,
+    ) -> None:
+        """Stream one completed cell to disk (flushed and fsynced)."""
+        self._append_line(
+            {
+                "kind": "cell",
+                "i": int(i),
+                "j": int(j),
+                "samples_zj": [float(value) for value in np.asarray(samples)],
+                "elapsed_s": float(elapsed_s),
+                "phase_seconds": {
+                    name: float(seconds)
+                    for name, seconds in (phase_seconds or {}).items()
+                },
+            }
+        )
+
+    def _append_line(self, record: dict) -> None:
+        if self._handle is None:
+            raise JournalError("journal is not open")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the journal file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 # ----------------------------------------------------------------------
@@ -334,36 +597,64 @@ def _init_worker(
     _WORKER_STATE["repetitions"] = repetitions
 
 
-def _row_task(
-    row: int,
-    cells: list[
-        tuple[
-            int,
-            InstructionEvent,
-            InstructionEvent,
-            np.random.SeedSequence,
-            FrequencyPlan,
-        ]
-    ],
-) -> tuple[int, list[tuple[int, np.ndarray, float, dict[str, float]]]]:
-    """Simulate one row's pending cells inside a worker process.
+def _cell_task(
+    i: int,
+    j: int,
+    event_a: InstructionEvent,
+    event_b: InstructionEvent,
+    seed_sequence: np.random.SeedSequence,
+    plan: FrequencyPlan,
+    fault: CellFault | None,
+) -> tuple[int, int, np.ndarray, float, dict[str, float]]:
+    """Simulate one cell inside a worker process.
 
-    Each cell ships its pre-computed frequency plan from the parent, so
-    workers never re-run the per-event CPI probes.
+    The cell ships its pre-computed frequency plan from the parent, so
+    workers never re-run the per-event CPI probes.  ``fault`` (set only
+    by an injected :class:`~repro.core.faults.FaultPlan`) raises or
+    hangs before the simulation starts; the reported elapsed time
+    covers the simulation only, since the parent measures timeout
+    budgets against its own clock.
     """
     machine = _WORKER_STATE["machine"]
     config = _WORKER_STATE["config"]
     repetitions = _WORKER_STATE["repetitions"]
-    results: list[tuple[int, np.ndarray, float, dict[str, float]]] = []
-    for j, event_a, event_b, seed_sequence, plan in cells:
-        started = time.perf_counter()
-        phases: dict[str, float] = {}
-        samples = simulate_cell(
-            machine, config, event_a, event_b, repetitions, seed_sequence,
-            plan=plan, phase_seconds=phases,
-        )
-        results.append((j, samples, time.perf_counter() - started, phases))
-    return row, results
+    if fault is not None:
+        fault.apply()
+    started = time.perf_counter()
+    phases: dict[str, float] = {}
+    samples = simulate_cell(
+        machine, config, event_a, event_b, repetitions, seed_sequence,
+        plan=plan, phase_seconds=phases,
+    )
+    return i, j, samples, time.perf_counter() - started, phases
+
+
+def _is_retryable(error: BaseException) -> bool:
+    """Whether a cell failure may be absorbed by the retry budget.
+
+    Configuration mistakes would fail identically on every attempt and
+    a broken process pool cannot run further attempts at all, so both
+    abort immediately; any other ``Exception`` is treated as transient.
+    """
+    if isinstance(error, (ConfigurationError, BrokenProcessPool)):
+        return False
+    return isinstance(error, Exception)
+
+
+@dataclass(frozen=True)
+class _PendingCell:
+    """One cold cell awaiting simulation."""
+
+    i: int
+    j: int
+    event_a: InstructionEvent
+    event_b: InstructionEvent
+    seed_sequence: np.random.SeedSequence
+    plan: FrequencyPlan
+
+    @property
+    def index(self) -> tuple[int, int]:
+        return (self.i, self.j)
 
 
 # ----------------------------------------------------------------------
@@ -378,6 +669,11 @@ def execute_campaign(
     workers: int = 0,
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    cell_timeout_s: float | None = None,
+    journal: str | os.PathLike | bool | None = None,
+    resume: bool = False,
+    fault_plan: FaultPlan | None = None,
 ) -> tuple[np.ndarray, CampaignStats]:
     """Measure every ordered (A, B) cell of a campaign, possibly in parallel.
 
@@ -401,13 +697,42 @@ def execute_campaign(
         Optional :class:`ResultCache`; hits skip simulation entirely.
     progress:
         Optional ``(event_a, event_b, done, total)`` callback invoked as
-        each cell completes (cache hits included).
+        each cell completes (cache hits and resumed cells included).
+    max_retries:
+        Transient-fault retry budget per cell.  A retried cell replays
+        its original seed-schedule entry, so retries never change the
+        campaign's samples.
+    cell_timeout_s:
+        Wall-clock budget per cell attempt.  Enforced preemptively when
+        worker processes are in use (the hung attempt is abandoned and
+        the cell retried); a serial in-process run cannot preempt a
+        cell, so there an overrun is only counted in the stats.
+    journal:
+        Path of the campaign journal to stream completed cells to, or
+        ``True`` to place ``journal.jsonl`` inside the cache's campaign
+        directory (requires ``cache``).  ``None`` disables journaling.
+    resume:
+        Restore completed cells from the journal instead of recomputing
+        them.  The journal's version and campaign key must match, else
+        :class:`~repro.errors.JournalError` is raised; a missing journal
+        file simply starts a fresh campaign.
+    fault_plan:
+        Deterministic :class:`~repro.core.faults.FaultPlan` to inject
+        (testing/debugging only).
 
     Returns
     -------
     tuple
         ``(samples, stats)`` — the ``(N, N, repetitions)`` sample array
         in zJ and the execution counters/timings.
+
+    Raises
+    ------
+    CellExecutionError
+        A cell failed on every attempt (or every worker slot was lost
+        to hung cells).  All cells completed before the failure have
+        already been streamed to the journal, so a ``resume`` run
+        restarts from them.
     """
     config = config or MeasurementConfig()
     resolved = list(events)
@@ -416,6 +741,10 @@ def execute_campaign(
         raise ConfigurationError("campaign needs at least one event")
     if repetitions < 1:
         raise ConfigurationError("repetitions must be at least 1")
+    if max_retries < 0:
+        raise ConfigurationError("max_retries must be non-negative")
+    if cell_timeout_s is not None and cell_timeout_s <= 0:
+        raise ConfigurationError("cell_timeout_s must be positive")
     names = [event.name for event in resolved]
 
     effective_workers = max(int(workers), 1)
@@ -440,11 +769,13 @@ def execute_campaign(
         if progress is not None:
             progress(names[i], names[j], done, total)
 
-    key: str | None = None
+    # The key identifies the campaign both on disk (cache layout) and in
+    # the journal header, so it is computed even for cache-less runs.
+    key = campaign_cache_key(
+        machine.name, machine.distance_m, config, names, repetitions, seed
+    )
+    quarantined_before = cache.quarantine_count if cache is not None else 0
     if cache is not None:
-        key = campaign_cache_key(
-            machine.name, machine.distance_m, config, names, repetitions, seed
-        )
         cache.write_manifest(
             key,
             {
@@ -458,66 +789,321 @@ def execute_campaign(
             },
         )
 
-    # Resolve cache hits first so the fan-out only sees the cold cells.
-    pending: dict[int, list] = {}
-    for i in range(count):
-        for j in range(count):
-            load_started = time.perf_counter()
-            cached = cache.load_cell(key, i, j, repetitions) if cache is not None else None
-            if cached is not None:
-                stats.cache_hits += 1
-                finish(i, j, cached, time.perf_counter() - load_started)
-            else:
-                if cache is not None:
-                    stats.cache_misses += 1
-                # Plan in the parent: the per-event CPI probes behind
-                # _plan_pair are cached per (machine, event), so every
-                # pending cell after the first reuses them, and workers
-                # receive finished plans instead of each re-probing from
-                # a cold cache.
-                plan = _plan_pair(
-                    machine, resolved[i], resolved[j], config.alternation_frequency_hz
-                )
-                pending.setdefault(i, []).append(
-                    (j, resolved[i], resolved[j], seeds[i * count + j], plan)
-                )
+    campaign_journal: CampaignJournal | None = None
+    journaled: dict[tuple[int, int], _JournalEntry] = {}
+    if journal is True:
+        if cache is None:
+            raise ConfigurationError(
+                "journal=True places the journal inside the cache's campaign "
+                "directory and therefore needs a cache; pass an explicit "
+                "journal path instead"
+            )
+        journal = cache.campaign_dir(key) / "journal.jsonl"
+    if journal:
+        campaign_journal = CampaignJournal(journal)
+        journaled = campaign_journal.start(
+            {
+                "journal_version": JOURNAL_VERSION,
+                "campaign_key": key,
+                "machine": machine.name,
+                "distance_m": machine.distance_m,
+                "events": names,
+                "repetitions": repetitions,
+                "seed": seed,
+            },
+            resume=resume,
+        )
 
-    rows = sorted(pending.items())
-    if effective_workers <= 1 or len(rows) <= 1:
-        for i, cells in rows:
-            for j, event_a, event_b, seed_sequence, plan in cells:
-                cell_started = time.perf_counter()
-                phases: dict[str, float] = {}
-                cell_samples = simulate_cell(
-                    machine, config, event_a, event_b, repetitions, seed_sequence,
-                    plan=plan, phase_seconds=phases,
+    def checkpoint(
+        i: int,
+        j: int,
+        cell_samples: np.ndarray,
+        elapsed_s: float,
+        phase_seconds: dict[str, float] | None,
+    ) -> None:
+        """Persist one freshly computed (or cache-loaded) cell."""
+        if campaign_journal is not None:
+            campaign_journal.append_cell(
+                i, j, cell_samples, elapsed_s, phase_seconds
+            )
+
+    try:
+        # Resolve journal and cache hits first, so the fan-out only
+        # sees the cold cells.
+        pending: list[_PendingCell] = []
+        for i in range(count):
+            for j in range(count):
+                entry = journaled.get((i, j))
+                if entry is not None:
+                    stats.resumed += 1
+                    finish(i, j, entry.samples, entry.elapsed_s, entry.phase_seconds)
+                    continue
+                if cache is not None and fault_plan is not None:
+                    corrupt = fault_plan.corrupt_fault(i, j)
+                    if corrupt is not None:
+                        # Overwrite (or create) the entry with garbage so
+                        # the load below must quarantine and recompute.
+                        path = cache.cell_path(key, i, j)
+                        path.parent.mkdir(parents=True, exist_ok=True)
+                        path.write_bytes(CORRUPT_PAYLOAD)
+                        stats.record_fault(corrupt.kind)
+                load_started = time.perf_counter()
+                cached = (
+                    cache.load_cell(key, i, j, repetitions)
+                    if cache is not None
+                    else None
                 )
-                elapsed = time.perf_counter() - cell_started
-                stats.cells_simulated += 1
-                if cache is not None:
-                    cache.store_cell(key, i, j, cell_samples)
-                finish(i, j, cell_samples, elapsed, phases)
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(effective_workers, len(rows)),
-            initializer=_init_worker,
-            initargs=(machine, config, repetitions),
-        ) as pool:
-            futures = [pool.submit(_row_task, i, cells) for i, cells in rows]
-            for future in as_completed(futures):
-                i, row_results = future.result()
-                for j, cell_samples, elapsed, phases in row_results:
-                    stats.cells_simulated += 1
+                if cached is not None:
+                    stats.cache_hits += 1
+                    elapsed = time.perf_counter() - load_started
+                    checkpoint(i, j, cached, elapsed, None)
+                    finish(i, j, cached, elapsed)
+                else:
                     if cache is not None:
-                        cache.store_cell(key, i, j, cell_samples)
-                    finish(i, j, cell_samples, elapsed, phases)
+                        stats.cache_misses += 1
+                    # Plan in the parent: the per-event CPI probes behind
+                    # _plan_pair are cached per (machine, event), so every
+                    # pending cell after the first reuses them, and workers
+                    # receive finished plans instead of each re-probing
+                    # from a cold cache.
+                    plan = _plan_pair(
+                        machine,
+                        resolved[i],
+                        resolved[j],
+                        config.alternation_frequency_hz,
+                    )
+                    pending.append(
+                        _PendingCell(
+                            i, j, resolved[i], resolved[j],
+                            seeds[i * count + j], plan,
+                        )
+                    )
 
+        def complete_cell(
+            cell: _PendingCell,
+            cell_samples: np.ndarray,
+            elapsed: float,
+            phases: dict[str, float],
+        ) -> None:
+            stats.cells_simulated += 1
+            if cache is not None:
+                cache.store_cell(key, cell.i, cell.j, cell_samples)
+            checkpoint(cell.i, cell.j, cell_samples, elapsed, phases)
+            finish(cell.i, cell.j, cell_samples, elapsed, phases)
+
+        def dispatch_fault(cell: _PendingCell, attempt: int) -> CellFault | None:
+            if fault_plan is None:
+                return None
+            fault = fault_plan.worker_fault(cell.i, cell.j, attempt)
+            if fault is not None:
+                stats.record_fault(fault.kind)
+            return fault
+
+        if effective_workers <= 1 or len(pending) <= 1:
+            _run_serial(
+                pending, machine, config, repetitions, stats,
+                max_retries, cell_timeout_s, names,
+                dispatch_fault, complete_cell,
+            )
+        elif pending:
+            _run_pool(
+                pending, machine, config, repetitions, stats,
+                effective_workers, max_retries, cell_timeout_s, names,
+                dispatch_fault, complete_cell,
+            )
+    finally:
+        if campaign_journal is not None:
+            campaign_journal.close()
+
+    if cache is not None:
+        stats.quarantined = cache.quarantine_count - quarantined_before
     stats.wall_seconds = time.perf_counter() - started
     return samples, stats
 
 
+def _run_serial(
+    pending: Sequence[_PendingCell],
+    machine: CalibratedMachine,
+    config: MeasurementConfig,
+    repetitions: int,
+    stats: CampaignStats,
+    max_retries: int,
+    cell_timeout_s: float | None,
+    names: Sequence[str],
+    dispatch_fault: Callable[[_PendingCell, int], CellFault | None],
+    complete_cell: Callable,
+) -> None:
+    """Simulate the cold cells in-process, with the retry loop.
+
+    An in-process cell cannot be preempted, so an injected hang simply
+    runs long and a ``cell_timeout_s`` overrun is counted in the stats
+    without killing the attempt.
+    """
+    for cell in pending:
+        attempt = 0
+        while True:
+            fault = dispatch_fault(cell, attempt)
+            cell_started = time.perf_counter()
+            phases: dict[str, float] = {}
+            try:
+                if fault is not None:
+                    fault.apply()
+                cell_samples = simulate_cell(
+                    machine, config, cell.event_a, cell.event_b,
+                    repetitions, cell.seed_sequence,
+                    plan=cell.plan, phase_seconds=phases,
+                )
+            except Exception as error:  # noqa: BLE001 — classified below
+                if _is_retryable(error) and attempt < max_retries:
+                    stats.retries += 1
+                    attempt += 1
+                    continue
+                pair = f"{names[cell.i]}/{names[cell.j]}"
+                raise CellExecutionError(
+                    f"cell {pair} failed on all {attempt + 1} attempt(s): "
+                    f"{error} (completed cells are journaled; rerun with "
+                    "resume to continue)",
+                    i=cell.i, j=cell.j, pair=pair, attempts=attempt + 1,
+                ) from error
+            elapsed = time.perf_counter() - cell_started
+            if cell_timeout_s is not None and elapsed > cell_timeout_s:
+                stats.timeouts += 1
+            complete_cell(cell, cell_samples, elapsed, phases)
+            break
+
+
+def _run_pool(
+    pending: Sequence[_PendingCell],
+    machine: CalibratedMachine,
+    config: MeasurementConfig,
+    repetitions: int,
+    stats: CampaignStats,
+    effective_workers: int,
+    max_retries: int,
+    cell_timeout_s: float | None,
+    names: Sequence[str],
+    dispatch_fault: Callable[[_PendingCell, int], CellFault | None],
+    complete_cell: Callable,
+) -> None:
+    """Fan the cold cells out across worker processes.
+
+    Scheduling keeps at most one outstanding task per worker slot, so
+    every submitted cell is actually running and its wall-clock budget
+    can be measured from submission.  A cell that exceeds the budget is
+    abandoned — its worker slot is written off until the worker comes
+    back — and the cell is retried on a fresh slot.  Results from
+    abandoned attempts are discarded even if they eventually arrive; the
+    retry recomputes the identical samples from the cell's original
+    seed-schedule entry.
+    """
+    pool_workers = min(effective_workers, len(pending))
+    pool = ProcessPoolExecutor(
+        max_workers=pool_workers,
+        initializer=_init_worker,
+        initargs=(machine, config, repetitions),
+    )
+    queue: deque[tuple[_PendingCell, int]] = deque(
+        (cell, 0) for cell in pending
+    )
+    outstanding: dict = {}  # future -> (cell, submitted_monotonic, attempt)
+    abandoned: set = set()
+    slots = pool_workers
+    clean_shutdown = False
+
+    def fail(cell: _PendingCell, attempts: int, message: str) -> CellExecutionError:
+        pair = f"{names[cell.i]}/{names[cell.j]}"
+        return CellExecutionError(
+            f"cell {pair} {message} (completed cells are journaled; rerun "
+            "with resume to continue)",
+            i=cell.i, j=cell.j, pair=pair, attempts=attempts,
+        )
+
+    try:
+        while queue or outstanding:
+            # Reclaim slots whose abandoned (hung) attempts finished.
+            for future in [f for f in abandoned if f.done()]:
+                abandoned.discard(future)
+                slots += 1
+            while queue and len(outstanding) < slots:
+                cell, attempt = queue.popleft()
+                fault = dispatch_fault(cell, attempt)
+                future = pool.submit(
+                    _cell_task,
+                    cell.i, cell.j, cell.event_a, cell.event_b,
+                    cell.seed_sequence, cell.plan, fault,
+                )
+                outstanding[future] = (cell, time.monotonic(), attempt)
+            if not outstanding:
+                # Cells remain but every worker slot is hung.
+                cell, attempt = queue[0]
+                raise fail(
+                    cell,
+                    attempt,
+                    f"cannot run: all {pool_workers} worker slot(s) are "
+                    f"lost to hung cells and {len(queue)} cell(s) remain",
+                )
+            wait_timeout = None
+            if cell_timeout_s is not None:
+                now = time.monotonic()
+                next_deadline = min(
+                    submitted + cell_timeout_s
+                    for _, submitted, _ in outstanding.values()
+                )
+                wait_timeout = max(0.0, next_deadline - now)
+            completed, _ = wait(
+                set(outstanding), timeout=wait_timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            # Process successes before failures so every finished cell
+            # reaches the journal even when a failure aborts the run.
+            for future in sorted(completed, key=lambda f: f.exception() is not None):
+                cell, _submitted, attempt = outstanding.pop(future)
+                error = future.exception()
+                if error is None:
+                    i, j, cell_samples, elapsed, phases = future.result()
+                    complete_cell(cell, cell_samples, elapsed, phases)
+                elif _is_retryable(error) and attempt < max_retries:
+                    stats.retries += 1
+                    queue.append((cell, attempt + 1))
+                else:
+                    raise fail(
+                        cell, attempt + 1,
+                        f"failed on all {attempt + 1} attempt(s): {error}",
+                    ) from error
+            if cell_timeout_s is not None:
+                now = time.monotonic()
+                for future, (cell, submitted, attempt) in list(outstanding.items()):
+                    if now - submitted < cell_timeout_s or future.done():
+                        continue
+                    del outstanding[future]
+                    stats.timeouts += 1
+                    if not future.cancel():
+                        # Already running in a worker: write the slot off
+                        # until the (possibly hung) attempt returns.
+                        abandoned.add(future)
+                        slots -= 1
+                    if attempt < max_retries:
+                        stats.retries += 1
+                        queue.append((cell, attempt + 1))
+                    else:
+                        raise fail(
+                            cell, attempt + 1,
+                            f"exceeded the {cell_timeout_s:g} s budget on "
+                            f"all {attempt + 1} attempt(s)",
+                        )
+        clean_shutdown = not abandoned
+    finally:
+        # Never block campaign teardown on a hung worker: if any attempt
+        # was abandoned (or the run failed), drop the pool without
+        # waiting for it.
+        pool.shutdown(wait=clean_shutdown, cancel_futures=True)
+
+
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "DEFAULT_MAX_RETRIES",
+    "JOURNAL_VERSION",
+    "CampaignJournal",
     "CampaignStats",
     "ResultCache",
     "campaign_cache_key",

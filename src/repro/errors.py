@@ -49,6 +49,44 @@ class CalibrationError(ReproError):
     """
 
 
+class CellExecutionError(ReproError):
+    """A campaign cell failed fatally after exhausting its retry budget.
+
+    Raised by the campaign executor when a cell keeps raising (or keeps
+    exceeding its wall-clock timeout) past ``max_retries`` attempts, or
+    when every worker slot has been lost to hung cells.  All cells that
+    completed before the failure have already been streamed to the
+    campaign journal, so a ``resume`` run picks up from where the
+    campaign stopped instead of from zero.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        i: int | None = None,
+        j: int | None = None,
+        pair: str | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.i = i
+        self.j = j
+        self.pair = pair
+        self.attempts = attempts
+
+
+class JournalError(ReproError):
+    """A campaign journal cannot be used for the requested resume.
+
+    Raised when a journal's version does not match the executor's
+    :data:`~repro.core.executor.JOURNAL_VERSION`, or when its campaign
+    key shows it belongs to a different campaign (other machine,
+    distance, config, events, repetitions, or seed) than the one being
+    resumed.  The journal is rejected rather than silently replayed.
+    """
+
+
 class MeasurementError(ReproError):
     """A SAVAT measurement could not be carried out.
 

@@ -3,7 +3,8 @@
 A warm cache must return an equal matrix while performing zero cell
 simulations; changing any key component (seed, distance, event set,
 repetitions, config) must miss; and corrupted or truncated entries are
-discarded gracefully and re-simulated instead of crashing.
+quarantined (moved to ``<cache_dir>/quarantine/``, never silently
+deleted) and re-simulated instead of crashing.
 """
 
 import numpy as np
@@ -112,7 +113,12 @@ class TestCacheCorruption:
         execution = _execution(warm)
         assert execution["cache_hits"] == len(EVENTS) ** 2 - 1
         assert execution["cache_misses"] == 1
+        assert execution["quarantined"] == 1
         assert np.array_equal(warm.samples_zj, cold.samples_zj)
+        # The bad entry was preserved for inspection, not deleted.
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == b"this is not an npz file"
 
     def test_truncated_entry_is_discarded_and_resimulated(
         self, core2duo_10cm, tmp_path
@@ -131,6 +137,7 @@ class TestCacheCorruption:
         path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
         warm = _run(core2duo_10cm, tmp_path)
         assert _execution(warm)["cache_misses"] == 1
+        assert _execution(warm)["quarantined"] == 1
         assert np.array_equal(warm.samples_zj, cold.samples_zj)
 
     def test_wrong_shape_entry_is_a_miss(self, tmp_path):
@@ -138,13 +145,31 @@ class TestCacheCorruption:
         cache.store_cell("somekey", 0, 0, np.ones(3))
         assert cache.load_cell("somekey", 0, 0, repetitions=3) is not None
         assert cache.load_cell("somekey", 0, 0, repetitions=5) is None
-        # The wrong-shape probe deleted the entry outright.
+        # The wrong-shape probe quarantined the entry, so it is gone
+        # from the live cache but preserved under quarantine/.
         assert cache.load_cell("somekey", 0, 0, repetitions=3) is None
+        assert cache.quarantine_count == 1
+        assert cache.quarantined_paths[0].is_file()
 
     def test_non_finite_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.store_cell("somekey", 0, 0, np.array([1.0, np.nan]))
         assert cache.load_cell("somekey", 0, 0, repetitions=2) is None
+
+    def test_repeated_corruption_never_overwrites_quarantined_entries(
+        self, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        for payload in (b"first corruption", b"second corruption"):
+            cache.cell_path("somekey", 0, 0).parent.mkdir(
+                parents=True, exist_ok=True
+            )
+            cache.cell_path("somekey", 0, 0).write_bytes(payload)
+            assert cache.load_cell("somekey", 0, 0, repetitions=2) is None
+        contents = {
+            path.read_bytes() for path in cache.quarantine_dir().iterdir()
+        }
+        assert contents == {b"first corruption", b"second corruption"}
 
 
 class TestCacheKey:
