@@ -14,7 +14,10 @@ to end, on the fast and the scalar reference implementations:
 Results are written to ``BENCH_simulation.json``.  With ``--campaign``
 the cold, cache-disabled, serial Figure 9-sized campaign (11x11 events,
 2 repetitions, seed 2014) is also run and compared against the pre-PR
-baseline measured on the same container.  With ``--check`` the cold
+baseline measured on the same container, then re-run with every
+observability output enabled (JSONL trace, Prometheus metrics file,
+progress line) to measure the instrumentation overhead against its
+<5% budget.  With ``--check`` the cold
 single-cell and priming-only latencies are compared against a
 checked-in baseline and the process exits non-zero on a >1.5x
 regression.
@@ -30,9 +33,11 @@ Usage (from the repository root):
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import pathlib
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -45,6 +50,7 @@ from repro.core.executor import execute_campaign  # noqa: E402
 from repro.core.savat import clear_cpi_cache, measure_savat  # noqa: E402
 from repro.isa.events import PAPER_EVENTS, get_event  # noqa: E402
 from repro.machines.calibrated import load_calibrated_machine  # noqa: E402
+from repro.obs import CampaignObservability  # noqa: E402
 from repro.uarch.activity import ActivityRecorder  # noqa: E402
 from repro.uarch.components import COMPONENT_ORDER  # noqa: E402
 from repro.uarch.fastpath import use_fast_path, use_reference_path  # noqa: E402
@@ -66,6 +72,11 @@ DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
 #: factor.  Best-of-N timings on an otherwise idle container are stable
 #: to a few percent, so 1.5x catches real regressions without flaking.
 REGRESSION_FACTOR = 1.5
+
+#: Maximum acceptable slowdown of the cold campaign when every
+#: observability output (JSONL trace, metrics file, progress line) is
+#: enabled, relative to the registry-only default.
+OBSERVABILITY_OVERHEAD_BUDGET = 0.05
 
 
 def _timed(callable_, repeats: int = 1) -> float:
@@ -168,6 +179,46 @@ def bench_campaign(machine) -> dict:
             abs(checksum - PRE_PR_CAMPAIGN_CHECKSUM)
             <= 1e-9 * abs(PRE_PR_CAMPAIGN_CHECKSUM)
         ),
+        "observability": _bench_campaign_observability(machine, samples, elapsed),
+    }
+
+
+def _bench_campaign_observability(machine, plain_samples, plain_elapsed) -> dict:
+    """The same cold campaign with every observability output enabled.
+
+    The baseline run above carries the always-installed registry-only
+    default, so the delta measured here is the cost of the optional
+    outputs: the JSONL trace (one span pair per cell), the Prometheus
+    metrics file, and the forced-on progress line (into a StringIO, so
+    rendering cost is included but no terminal is needed).
+    """
+    clear_cpi_cache()
+    with tempfile.TemporaryDirectory() as tmp:
+        observability = CampaignObservability(
+            trace=pathlib.Path(tmp) / "trace.jsonl",
+            metrics_out=pathlib.Path(tmp) / "metrics.prom",
+            progress=True,
+            progress_stream=io.StringIO(),
+        )
+        with use_fast_path():
+            started = time.perf_counter()
+            samples, _stats = execute_campaign(
+                machine,
+                list(PAPER_EVENTS),
+                repetitions=2,
+                seed=2014,
+                workers=1,
+                cache=None,
+                observability=observability,
+            )
+            elapsed = time.perf_counter() - started
+    overhead = elapsed / plain_elapsed - 1.0
+    return {
+        "instrumented_s": elapsed,
+        "overhead_fraction": overhead,
+        "overhead_budget": OBSERVABILITY_OVERHEAD_BUDGET,
+        "overhead_ok": bool(overhead < OBSERVABILITY_OVERHEAD_BUDGET),
+        "samples_identical": bool(np.array_equal(samples, plain_samples)),
     }
 
 
@@ -216,6 +267,15 @@ def run(args) -> int:
             f"{numbers['pre_pr_reference_s']:.1f}s "
             f"({numbers['speedup_vs_pre_pr']:.1f}x); checksum match: "
             f"{numbers['checksum_matches_pre_pr']}"
+        )
+        observability = numbers["observability"]
+        print(
+            f"  with trace+metrics+progress: "
+            f"{observability['instrumented_s']:.1f}s "
+            f"({observability['overhead_fraction']:+.1%} overhead, "
+            f"budget {OBSERVABILITY_OVERHEAD_BUDGET:.0%}) -> "
+            f"{'ok' if observability['overhead_ok'] else 'OVER BUDGET'}; "
+            f"samples identical: {observability['samples_identical']}"
         )
 
     output = pathlib.Path(args.output)

@@ -4,7 +4,9 @@ Subcommands cover the workflows a downstream user runs most:
 
 * ``savat measure ADD LDM`` — one pairwise measurement;
 * ``savat campaign --events ADD,DIV,LDM`` — a matrix campaign with CSV
-  or JSON output;
+  or JSON output; add ``--trace run.jsonl --metrics-out run.prom`` for
+  a JSONL run trace and a Prometheus metrics export, and
+  ``--progress``/``--no-progress`` to control the live status line;
 * ``savat groups`` — cluster the events by SAVAT distance;
 * ``savat audit victim.s`` — static leak audit of an assembly file;
 * ``savat attack --key 10110100`` — the RSA-style attack demo.
@@ -17,6 +19,37 @@ import os
 import sys
 
 from repro.errors import ReproError
+
+
+def _event_list(text: str) -> list[str]:
+    """Parse a ``--events`` value into validated catalog event names.
+
+    Tokens are comma-separated, surrounding whitespace is stripped, and
+    empty tokens (``"ADD,,SUB"`` or a trailing comma) are dropped.  An
+    unknown token — or a value with no tokens at all — fails argument
+    parsing with a one-line error naming the bad token and the valid
+    choices, instead of surfacing later as a mid-campaign lookup error.
+    """
+    from repro.isa.events import EVENT_ORDER
+
+    known = {name.upper(): name for name in EVENT_ORDER}
+    choices = ", ".join(EVENT_ORDER)
+    events: list[str] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        resolved = known.get(token.upper())
+        if resolved is None:
+            raise argparse.ArgumentTypeError(
+                f"unknown event {token!r}; choose from {choices}"
+            )
+        events.append(resolved)
+    if not events:
+        raise argparse.ArgumentTypeError(
+            f"no event names given; choose from {choices}"
+        )
+    return events
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -83,16 +116,43 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "'raise@0,1;hang@1,2:2;corrupt@2,0' "
         "(default: $SAVAT_INJECT_FAULTS)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=os.environ.get("SAVAT_METRICS_OUT"),
+        metavar="FILE",
+        help="write the campaign's metrics registry to FILE in Prometheus "
+        "text format when the campaign ends (default: $SAVAT_METRICS_OUT)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=os.environ.get("SAVAT_TRACE"),
+        metavar="FILE",
+        help="write a versioned JSONL span/event trace of the campaign "
+        "to FILE (default: $SAVAT_TRACE)",
+    )
+    parser.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force the live progress line on (--progress) or off "
+        "(--no-progress); by default it renders only on a terminal",
+    )
 
 
 def _campaign_execution_kwargs(args: argparse.Namespace) -> dict:
     """Executor keyword arguments shared by campaign-running commands."""
     from repro.core.faults import FaultPlan
+    from repro.obs import CampaignObservability
 
     cache_dir = None if args.no_cache else args.cache_dir
     journal = args.journal
     if args.resume and journal is None:
         journal = True
+    observability = CampaignObservability(
+        trace=args.trace or None,
+        metrics_out=args.metrics_out or None,
+        progress=args.progress,
+    )
     return {
         "workers": args.workers,
         "cache_dir": cache_dir,
@@ -103,6 +163,7 @@ def _campaign_execution_kwargs(args: argparse.Namespace) -> dict:
         "fault_plan": (
             FaultPlan.from_spec(args.inject_faults) if args.inject_faults else None
         ),
+        "observability": observability,
     }
 
 
@@ -138,16 +199,67 @@ def _command_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_summary_lines(campaign, machine) -> list[str]:
+    """The human-readable campaign summary (table format).
+
+    The execution footer comes from ``metadata["execution"]``; a matrix
+    loaded from JSON written by an older release (or stripped metadata)
+    may not carry that entry, in which case the table and the
+    repetition statistics still print and only the footer is omitted.
+    """
+    from repro.analysis.visualize import matrix_table
+
+    lines = [
+        matrix_table(
+            campaign.mean(),
+            campaign.events,
+            title=f"SAVAT (zJ) on {machine.describe()}:",
+        ),
+        f"\nstd/mean over {campaign.repetitions} repetitions: "
+        f"{campaign.std_over_mean():.3f}",
+    ]
+    execution = campaign.metadata.get("execution")
+    if execution is None:
+        return lines
+    lines.append(
+        f"executed with {execution['workers']} worker(s) in "
+        f"{execution['wall_seconds']:.1f} s; cache: "
+        f"{execution['cache_hits']} hit(s), "
+        f"{execution['cache_misses']} miss(es), "
+        f"{execution['cells_simulated']} cell(s) simulated"
+    )
+    phase_totals = execution.get("phase_seconds") or {}
+    if phase_totals:
+        breakdown = ", ".join(
+            f"{name} {seconds:.1f} s"
+            for name, seconds in sorted(
+                phase_totals.items(), key=lambda item: -item[1]
+            )
+        )
+        lines.append(f"simulation time by phase: {breakdown}")
+    lines.append(
+        f"robustness: {execution['resumed']} cell(s) resumed from the "
+        f"journal, {execution['retries']} retry(ies), "
+        f"{execution['timeouts']} timeout(s), "
+        f"{execution['quarantined']} cache entry(ies) quarantined"
+    )
+    faults = execution.get("faults_injected") or {}
+    if faults:
+        fired = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(faults.items())
+        )
+        lines.append(f"injected faults fired: {fired}")
+    return lines
+
+
 def _command_campaign(args: argparse.Namespace) -> int:
     from repro.core.campaign import run_campaign
-    from repro.analysis.visualize import matrix_table
     from repro.machines.calibrated import load_calibrated_machine
 
     machine = load_calibrated_machine(args.machine, args.distance)
-    events = args.events.split(",") if args.events else None
     campaign = run_campaign(
         machine,
-        events=events,
+        events=args.events,
         repetitions=args.repetitions,
         seed=args.seed,
         **_campaign_execution_kwargs(args),
@@ -157,44 +269,8 @@ def _command_campaign(args: argparse.Namespace) -> int:
     elif args.format == "json":
         print(campaign.to_json())
     else:
-        print(
-            matrix_table(
-                campaign.mean(),
-                campaign.events,
-                title=f"SAVAT (zJ) on {machine.describe()}:",
-            )
-        )
-        print(f"\nstd/mean over {campaign.repetitions} repetitions: "
-              f"{campaign.std_over_mean():.3f}")
-        execution = campaign.metadata["execution"]
-        print(
-            f"executed with {execution['workers']} worker(s) in "
-            f"{execution['wall_seconds']:.1f} s; cache: "
-            f"{execution['cache_hits']} hit(s), "
-            f"{execution['cache_misses']} miss(es), "
-            f"{execution['cells_simulated']} cell(s) simulated"
-        )
-        phase_totals = execution.get("phase_seconds") or {}
-        if phase_totals:
-            breakdown = ", ".join(
-                f"{name} {seconds:.1f} s"
-                for name, seconds in sorted(
-                    phase_totals.items(), key=lambda item: -item[1]
-                )
-            )
-            print(f"simulation time by phase: {breakdown}")
-        print(
-            f"robustness: {execution['resumed']} cell(s) resumed from the "
-            f"journal, {execution['retries']} retry(ies), "
-            f"{execution['timeouts']} timeout(s), "
-            f"{execution['quarantined']} cache entry(ies) quarantined"
-        )
-        faults = execution.get("faults_injected") or {}
-        if faults:
-            fired = ", ".join(
-                f"{kind} x{count}" for kind, count in sorted(faults.items())
-            )
-            print(f"injected faults fired: {fired}")
+        for line in _campaign_summary_lines(campaign, machine):
+            print(line)
     return 0
 
 
@@ -303,7 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = subparsers.add_parser("campaign", help="run a pairwise matrix campaign")
     _add_machine_arguments(campaign)
-    campaign.add_argument("--events", default=None, help="comma-separated subset")
+    campaign.add_argument(
+        "--events",
+        type=_event_list,
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated event subset (validated against the catalog; "
+        "default: all eleven events)",
+    )
     campaign.add_argument("--repetitions", type=int, default=3)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--format", choices=("table", "csv", "json"), default="table")

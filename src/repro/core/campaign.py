@@ -32,6 +32,7 @@ from repro.core.matrix import SavatMatrix
 from repro.core.savat import MeasurementConfig
 from repro.isa.events import EVENT_ORDER, InstructionEvent, get_event
 from repro.machines.calibrated import CalibratedMachine
+from repro.obs import CampaignObservability
 
 #: Repetitions used in the paper's campaigns.
 PAPER_REPETITIONS = 10
@@ -52,6 +53,7 @@ def run_campaign(
     journal: str | os.PathLike | bool | None = None,
     resume: bool | str | os.PathLike = False,
     fault_plan: FaultPlan | None = None,
+    observability: CampaignObservability | None = None,
 ) -> SavatMatrix:
     """Measure the full pairwise SAVAT matrix.
 
@@ -59,6 +61,18 @@ def run_campaign(
     deterministic per-cell seed schedule, so serial and parallel runs
     of the same campaign produce bit-identical samples, and an optional
     on-disk cache lets repeated campaigns skip simulation entirely.
+
+    **Timeout semantics** are identical in serial and pool modes: with
+    ``cell_timeout_s`` set, an attempt that overruns the budget counts
+    one timeout, its result is discarded, and the cell is retried from
+    its original seed-schedule entry (one retry per overrun) until the
+    ``max_retries`` budget is exhausted, at which point the campaign
+    fails.  The only difference is *when* the overrun is detected:
+    worker processes are preempted mid-attempt, while a serial
+    in-process attempt cannot be interrupted and is judged after it
+    returns.  A cell that overruns and then succeeds therefore produces
+    the same ``timeouts``/``retries`` counters, the same journal
+    contents, and bit-identical samples in both modes.
 
     Parameters
     ----------
@@ -105,6 +119,11 @@ def run_campaign(
     fault_plan:
         Deterministic :class:`~repro.core.faults.FaultPlan` to inject
         (testing/debugging only).
+    observability:
+        Optional :class:`~repro.obs.CampaignObservability` bundle: a
+        JSONL run trace, a live progress line, and a Prometheus metrics
+        export, all fed by the same registry that generates the
+        matrix's ``metadata["execution"]`` entry.
 
     Returns
     -------
@@ -140,6 +159,7 @@ def run_campaign(
         journal=journal,
         resume=bool(resume),
         fault_plan=fault_plan,
+        observability=observability,
     )
 
     return SavatMatrix(

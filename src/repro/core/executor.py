@@ -22,11 +22,15 @@ so the executor layers four recovery mechanisms over the fan-out:
   ``max_retries`` attempts and the cell is re-dispatched with its
   original seed; only exhausting the budget (or a non-retryable
   configuration error) aborts the campaign.
-* **Per-cell wall-clock timeouts** — with ``cell_timeout_s`` set and
-  worker processes in use, a cell that exceeds its budget is abandoned
-  (the hung worker's slot is written off until it comes back) and
-  retried on a fresh worker.  Serial in-process runs cannot preempt a
-  hung cell, so there the budget is only recorded post-hoc.
+* **Per-cell wall-clock timeouts** — with ``cell_timeout_s`` set, an
+  attempt that exceeds its budget counts as a timeout, its result is
+  discarded, and the cell is retried from its original seed (or the
+  campaign fails once the budget is exhausted).  Worker processes are
+  preempted — the hung attempt is abandoned and its slot written off
+  until the worker comes back — while a serial in-process attempt
+  cannot be interrupted and is only judged after it returns; the
+  counters, journal contents, and final samples are identical in both
+  modes.
 * **Cache quarantine** — a corrupted, truncated, or wrong-shaped cache
   entry is moved to ``<cache_dir>/quarantine/`` (never silently
   deleted) and the cell is recomputed.
@@ -50,6 +54,15 @@ measured loads every cell from disk and performs zero simulations;
 hit/miss counters, per-cell timings, and the fault-tolerance counters
 are reported through :class:`CampaignStats` and the returned matrix
 metadata.
+
+All instrumentation flows through :mod:`repro.obs`: the counters live
+in a :class:`~repro.obs.metrics.MetricsRegistry` (``CampaignStats`` is
+a typed view over it), every cache/journal/fault/timeout event and
+every simulation attempt is reported to a
+:class:`~repro.obs.CampaignObservability` bundle (JSONL trace, live
+progress line, Prometheus export), and workers stay trace-silent —
+they return span fragments alongside their results and the parent
+process merges them, so the trace file needs no cross-process locking.
 """
 
 from __future__ import annotations
@@ -64,7 +77,7 @@ from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -81,6 +94,9 @@ from repro.core.savat import (
 from repro.errors import CellExecutionError, ConfigurationError, JournalError
 from repro.isa.events import InstructionEvent
 from repro.machines.calibrated import CalibratedMachine
+from repro.obs import CampaignObservability
+from repro.obs.metrics import MetricsRegistry
+from repro.uarch.fastpath import fast_path_enabled
 
 #: Bump whenever the cache layout or the seeding discipline changes;
 #: old entries then miss instead of replaying stale numbers.
@@ -120,14 +136,23 @@ def cell_seed(seed: int, count: int, i: int, j: int) -> np.random.SeedSequence:
 
 
 # ----------------------------------------------------------------------
-# Execution statistics
+# Execution statistics (a view over the metrics registry)
 # ----------------------------------------------------------------------
-@dataclass
 class CampaignStats:
     """Counters and timings from one campaign execution.
 
-    Attributes
-    ----------
+    Every number lives in a
+    :class:`~repro.obs.metrics.MetricsRegistry` — the same registry the
+    ``--metrics-out`` Prometheus export and the JSONL trace run
+    alongside — and this class is a typed view over it: the attribute
+    properties read registry values, the ``record_*`` methods increment
+    them, and :meth:`as_metadata` renders the registry into the exact
+    ``matrix.metadata["execution"]`` mapping previous releases produced
+    from loose instance counters.  There is therefore a single source
+    of truth; the metadata and the metrics export cannot drift apart.
+
+    Readable properties
+    -------------------
     cache_hits / cache_misses:
         Cells loaded from the on-disk cache vs cells that had to be
         simulated because the cache was cold or disabled-but-counted.
@@ -163,18 +188,188 @@ class CampaignStats:
         Cache hits record no phases.
     """
 
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cells_simulated: int = 0
-    workers: int = 1
-    wall_seconds: float = 0.0
-    retries: int = 0
-    timeouts: int = 0
-    quarantined: int = 0
-    resumed: int = 0
-    faults_injected: dict[str, int] = field(default_factory=dict)
-    cell_seconds: dict[str, float] = field(default_factory=dict)
-    cell_phase_seconds: dict[str, dict[str, float]] = field(default_factory=dict)
+    def __init__(
+        self, workers: int = 1, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._cache_hits = r.counter(
+            "savat_cache_hits_total", "Cells served from the on-disk cache."
+        )
+        self._cache_misses = r.counter(
+            "savat_cache_misses_total",
+            "Cells absent from (or quarantined out of) the cache.",
+        )
+        self._cells_simulated = r.counter(
+            "savat_cells_simulated_total", "Cells that ran the kernel simulation."
+        )
+        self._retries = r.counter(
+            "savat_cell_retries_total",
+            "Cell attempts re-dispatched after a fault or timeout.",
+        )
+        self._timeouts = r.counter(
+            "savat_cell_timeouts_total",
+            "Cell attempts that exceeded the wall-clock budget.",
+        )
+        self._quarantined = r.counter(
+            "savat_cache_quarantined_total",
+            "Corrupt cache entries moved to quarantine this execution.",
+        )
+        self._resumed = r.counter(
+            "savat_cells_resumed_total",
+            "Cells restored from the campaign journal.",
+        )
+        self._faults = r.counter(
+            "savat_faults_injected_total",
+            "Injected faults fired, by kind (testing only).",
+            labelnames=("kind",),
+        )
+        self._worker_cells = r.counter(
+            "savat_cells_by_worker_total",
+            "Cells simulated per worker process.",
+            labelnames=("worker",),
+        )
+        self._workers = r.gauge(
+            "savat_workers", "Worker processes used by the fan-out."
+        )
+        self._workers.set(workers)
+        self._wall = r.gauge(
+            "savat_wall_seconds", "Wall-clock duration of the campaign."
+        )
+        self._fast_path = r.gauge(
+            "savat_fast_path_enabled",
+            "Whether the vectorized fast path is active (1) or the scalar "
+            "reference path (0).",
+        )
+        self._fast_path.set(1.0 if fast_path_enabled() else 0.0)
+        self._cell_seconds = r.gauge(
+            "savat_cell_seconds",
+            "Wall-clock seconds of each completed cell.",
+            labelnames=("pair",),
+        )
+        self._cell_phase = r.gauge(
+            "savat_cell_phase_seconds",
+            "Per-cell pipeline phase breakdown in seconds.",
+            labelnames=("pair", "phase"),
+        )
+        self._phase_totals = r.counter(
+            "savat_phase_seconds_total",
+            "Campaign-wide seconds per pipeline phase.",
+            labelnames=("phase",),
+        )
+        self._durations = r.histogram(
+            "savat_cell_duration_seconds",
+            "Distribution of per-cell simulation wall times.",
+        )
+
+    # -- readable counter/gauge views ----------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Cells served from the on-disk cache."""
+        return int(self._cache_hits.value())
+
+    @property
+    def cache_misses(self) -> int:
+        """Cells absent from (or quarantined out of) the cache."""
+        return int(self._cache_misses.value())
+
+    @property
+    def cells_simulated(self) -> int:
+        """Cells that ran the kernel simulation."""
+        return int(self._cells_simulated.value())
+
+    @property
+    def retries(self) -> int:
+        """Cell attempts re-dispatched after a fault or timeout."""
+        return int(self._retries.value())
+
+    @property
+    def timeouts(self) -> int:
+        """Cell attempts that exceeded the wall-clock budget."""
+        return int(self._timeouts.value())
+
+    @property
+    def quarantined(self) -> int:
+        """Corrupt cache entries quarantined during this execution."""
+        return int(self._quarantined.value())
+
+    @property
+    def resumed(self) -> int:
+        """Cells restored from the campaign journal."""
+        return int(self._resumed.value())
+
+    @property
+    def workers(self) -> int:
+        """Worker processes the fan-out used (1 means serial)."""
+        return int(self._workers.value())
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration of the whole campaign execution."""
+        return self._wall.value()
+
+    @wall_seconds.setter
+    def wall_seconds(self, seconds: float) -> None:
+        self._wall.set(float(seconds))
+
+    @property
+    def faults_injected(self) -> dict[str, int]:
+        """Injected fault firings by kind (insertion-ordered)."""
+        return {
+            labels["kind"]: int(child.get())
+            for labels, child in self._faults.series()
+        }
+
+    @property
+    def cell_seconds(self) -> dict[str, float]:
+        """Per-cell wall seconds keyed by ``"A/B"`` (completion order)."""
+        return {
+            labels["pair"]: child.get()
+            for labels, child in self._cell_seconds.series()
+        }
+
+    @property
+    def cell_phase_seconds(self) -> dict[str, dict[str, float]]:
+        """Per-cell phase breakdown keyed by ``"A/B"`` then phase name."""
+        nested: dict[str, dict[str, float]] = {}
+        for labels, child in self._cell_phase.series():
+            nested.setdefault(labels["pair"], {})[labels["phase"]] = child.get()
+        return nested
+
+    # -- mutators used by the executor ---------------------------------
+    def record_cache_hit(self) -> None:
+        """Count one cell served from the cache."""
+        self._cache_hits.inc()
+
+    def record_cache_miss(self) -> None:
+        """Count one cell the cache could not serve."""
+        self._cache_misses.inc()
+
+    def record_simulated(self, worker_pid: int | None = None) -> None:
+        """Count one simulated cell (attributed to a worker when known)."""
+        self._cells_simulated.inc()
+        if worker_pid is not None:
+            self._worker_cells.labels(worker=str(worker_pid)).inc()
+
+    def record_retry(self) -> None:
+        """Count one re-dispatched cell attempt."""
+        self._retries.inc()
+
+    def record_timeout(self) -> None:
+        """Count one attempt that exceeded the wall-clock budget."""
+        self._timeouts.inc()
+
+    def record_quarantined(self, count: int = 1) -> None:
+        """Count cache entries moved to quarantine."""
+        self._quarantined.inc(count)
+
+    def record_resumed(self) -> None:
+        """Count one cell restored from the journal."""
+        self._resumed.inc()
+
+    def record_fault(self, kind: str) -> None:
+        """Count one injected fault firing."""
+        self._faults.labels(kind=kind).inc()
 
     def record_cell(
         self,
@@ -184,26 +379,27 @@ class CampaignStats:
         phase_seconds: dict[str, float] | None = None,
     ) -> None:
         """Record one finished cell's timing (and optional phase split)."""
-        self.cell_seconds[f"{event_a}/{event_b}"] = float(elapsed_s)
+        pair = f"{event_a}/{event_b}"
+        self._cell_seconds.labels(pair=pair).set(float(elapsed_s))
+        self._durations.observe(float(elapsed_s))
         if phase_seconds:
-            self.cell_phase_seconds[f"{event_a}/{event_b}"] = {
-                name: float(seconds) for name, seconds in phase_seconds.items()
-            }
-
-    def record_fault(self, kind: str) -> None:
-        """Count one injected fault firing."""
-        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+            for name, seconds in phase_seconds.items():
+                self._cell_phase.labels(pair=pair, phase=name).set(float(seconds))
+                self._phase_totals.labels(phase=name).inc(float(seconds))
 
     def phase_seconds(self) -> dict[str, float]:
         """Campaign-wide totals of the per-cell phase breakdown."""
-        totals: dict[str, float] = {}
-        for phases in self.cell_phase_seconds.values():
-            for name, seconds in phases.items():
-                totals[name] = totals.get(name, 0.0) + seconds
-        return totals
+        return {
+            labels["phase"]: child.get()
+            for labels, child in self._phase_totals.series()
+        }
 
     def as_metadata(self) -> dict:
-        """JSON-ready summary stored in ``SavatMatrix.metadata``."""
+        """JSON-ready summary stored in ``SavatMatrix.metadata``.
+
+        Generated entirely from the metrics registry, preserving the
+        exact key set and value types earlier releases produced.
+        """
         return {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -301,10 +497,19 @@ class ResultCache:
     mortem inspection — never silently deleted — and the cell is
     re-simulated.  Quarantine moves are counted on ``quarantine_count``
     and listed in ``quarantined_paths``.
+
+    Counter semantics (pinned by the executor-cache tests): every
+    :meth:`load_cell` call increments exactly one of ``hits`` or
+    ``misses``.  A quarantined entry is a **miss** — it increments
+    ``quarantine_count`` and ``misses`` exactly once each and never
+    ``hits`` — identically in serial and pool campaigns (the cache is
+    only ever consulted by the parent process).
     """
 
     def __init__(self, cache_dir: str | os.PathLike) -> None:
         self.cache_dir = Path(cache_dir).expanduser()
+        self.hits = 0
+        self.misses = 0
         self.quarantine_count = 0
         self.quarantined_paths: list[Path] = []
 
@@ -349,19 +554,26 @@ class ResultCache:
 
         A corrupted, truncated, or wrong-shaped file counts as a miss:
         the entry is quarantined and the caller re-simulates the cell.
+        Each call increments exactly one of ``hits``/``misses``; a
+        quarantined entry therefore counts one ``misses`` and one
+        ``quarantine_count`` increment, and never touches ``hits``.
         """
         path = self.cell_path(key, i, j)
         try:
             with np.load(path) as data:
                 samples = np.asarray(data["samples_zj"], dtype=np.float64)
         except FileNotFoundError:
+            self.misses += 1
             return None
         except Exception:  # noqa: BLE001 — any unreadable entry is a miss
             self.quarantine(key, path)
+            self.misses += 1
             return None
         if samples.shape != (repetitions,) or not np.all(np.isfinite(samples)):
             self.quarantine(key, path)
+            self.misses += 1
             return None
+        self.hits += 1
         return samples
 
     def store_cell(self, key: str, i: int, j: int, samples: np.ndarray) -> None:
@@ -605,7 +817,7 @@ def _cell_task(
     seed_sequence: np.random.SeedSequence,
     plan: FrequencyPlan,
     fault: CellFault | None,
-) -> tuple[int, int, np.ndarray, float, dict[str, float]]:
+) -> tuple[int, int, np.ndarray, float, dict[str, float], dict]:
     """Simulate one cell inside a worker process.
 
     The cell ships its pre-computed frequency plan from the parent, so
@@ -614,6 +826,12 @@ def _cell_task(
     hangs before the simulation starts; the reported elapsed time
     covers the simulation only, since the parent measures timeout
     budgets against its own clock.
+
+    The sixth tuple element is the cell's **trace span fragment**
+    (worker pid, worker-side elapsed seconds, per-phase seconds):
+    workers never write to the trace file themselves — the parent
+    merges the fragment into the cell's ``span_end`` record, keeping
+    the trace single-writer under the process pool.
     """
     machine = _WORKER_STATE["machine"]
     config = _WORKER_STATE["config"]
@@ -626,7 +844,13 @@ def _cell_task(
         machine, config, event_a, event_b, repetitions, seed_sequence,
         plan=plan, phase_seconds=phases,
     )
-    return i, j, samples, time.perf_counter() - started, phases
+    elapsed = time.perf_counter() - started
+    fragment = {
+        "worker_pid": os.getpid(),
+        "elapsed_s": elapsed,
+        "phase_seconds": dict(phases),
+    }
+    return i, j, samples, elapsed, phases, fragment
 
 
 def _is_retryable(error: BaseException) -> bool:
@@ -674,6 +898,7 @@ def execute_campaign(
     journal: str | os.PathLike | bool | None = None,
     resume: bool = False,
     fault_plan: FaultPlan | None = None,
+    observability: CampaignObservability | None = None,
 ) -> tuple[np.ndarray, CampaignStats]:
     """Measure every ordered (A, B) cell of a campaign, possibly in parallel.
 
@@ -703,10 +928,13 @@ def execute_campaign(
         its original seed-schedule entry, so retries never change the
         campaign's samples.
     cell_timeout_s:
-        Wall-clock budget per cell attempt.  Enforced preemptively when
-        worker processes are in use (the hung attempt is abandoned and
-        the cell retried); a serial in-process run cannot preempt a
-        cell, so there an overrun is only counted in the stats.
+        Wall-clock budget per cell attempt.  An overrunning attempt
+        counts as a timeout, its result is discarded, and the cell is
+        retried from its original seed (consuming the retry budget) or
+        the campaign fails.  Worker processes are preempted — the hung
+        attempt is abandoned and its slot written off; a serial
+        in-process attempt is only judged after it returns.  Counters,
+        journal contents, and samples are identical in both modes.
     journal:
         Path of the campaign journal to stream completed cells to, or
         ``True`` to place ``journal.jsonl`` inside the cache's campaign
@@ -719,6 +947,13 @@ def execute_campaign(
     fault_plan:
         Deterministic :class:`~repro.core.faults.FaultPlan` to inject
         (testing/debugging only).
+    observability:
+        :class:`~repro.obs.CampaignObservability` bundle receiving
+        every execution event (trace spans, cache/journal/fault events,
+        live progress) and owning the metrics registry the returned
+        :class:`CampaignStats` records into.  A registry-only bundle
+        (no trace, no progress, no metrics file) is created when
+        omitted.
 
     Returns
     -------
@@ -748,7 +983,8 @@ def execute_campaign(
     names = [event.name for event in resolved]
 
     effective_workers = max(int(workers), 1)
-    stats = CampaignStats(workers=effective_workers)
+    obs = observability if observability is not None else CampaignObservability()
+    stats = CampaignStats(workers=effective_workers, registry=obs.metrics)
     samples = np.zeros((count, count, repetitions))
     seeds = spawn_cell_seeds(seed, count)
     started = time.perf_counter()
@@ -766,6 +1002,7 @@ def execute_campaign(
         samples[i, j] = cell_samples
         stats.record_cell(names[i], names[j], elapsed_s, phase_seconds)
         done += 1
+        obs.cell_completed(f"{names[i]}/{names[j]}", elapsed_s, done, total)
         if progress is not None:
             progress(names[i], names[j], done, total)
 
@@ -774,7 +1011,6 @@ def execute_campaign(
     key = campaign_cache_key(
         machine.name, machine.distance_m, config, names, repetitions, seed
     )
-    quarantined_before = cache.quarantine_count if cache is not None else 0
     if cache is not None:
         cache.write_manifest(
             key,
@@ -789,30 +1025,18 @@ def execute_campaign(
             },
         )
 
+    obs.campaign_start(
+        total_cells=total,
+        campaign_key=key,
+        machine=machine.name,
+        distance_m=machine.distance_m,
+        events=names,
+        repetitions=repetitions,
+        seed=seed,
+        workers=effective_workers,
+    )
+
     campaign_journal: CampaignJournal | None = None
-    journaled: dict[tuple[int, int], _JournalEntry] = {}
-    if journal is True:
-        if cache is None:
-            raise ConfigurationError(
-                "journal=True places the journal inside the cache's campaign "
-                "directory and therefore needs a cache; pass an explicit "
-                "journal path instead"
-            )
-        journal = cache.campaign_dir(key) / "journal.jsonl"
-    if journal:
-        campaign_journal = CampaignJournal(journal)
-        journaled = campaign_journal.start(
-            {
-                "journal_version": JOURNAL_VERSION,
-                "campaign_key": key,
-                "machine": machine.name,
-                "distance_m": machine.distance_m,
-                "events": names,
-                "repetitions": repetitions,
-                "seed": seed,
-            },
-            resume=resume,
-        )
 
     def checkpoint(
         i: int,
@@ -827,7 +1051,32 @@ def execute_campaign(
                 i, j, cell_samples, elapsed_s, phase_seconds
             )
 
+    status = "failed"
     try:
+        journaled: dict[tuple[int, int], _JournalEntry] = {}
+        if journal is True:
+            if cache is None:
+                raise ConfigurationError(
+                    "journal=True places the journal inside the cache's "
+                    "campaign directory and therefore needs a cache; pass "
+                    "an explicit journal path instead"
+                )
+            journal = cache.campaign_dir(key) / "journal.jsonl"
+        if journal:
+            campaign_journal = CampaignJournal(journal)
+            journaled = campaign_journal.start(
+                {
+                    "journal_version": JOURNAL_VERSION,
+                    "campaign_key": key,
+                    "machine": machine.name,
+                    "distance_m": machine.distance_m,
+                    "events": names,
+                    "repetitions": repetitions,
+                    "seed": seed,
+                },
+                resume=resume,
+            )
+
         # Resolve journal and cache hits first, so the fan-out only
         # sees the cold cells.
         pending: list[_PendingCell] = []
@@ -835,7 +1084,8 @@ def execute_campaign(
             for j in range(count):
                 entry = journaled.get((i, j))
                 if entry is not None:
-                    stats.resumed += 1
+                    stats.record_resumed()
+                    obs.journal_resume(i, j)
                     finish(i, j, entry.samples, entry.elapsed_s, entry.phase_seconds)
                     continue
                 if cache is not None and fault_plan is not None:
@@ -847,20 +1097,31 @@ def execute_campaign(
                         path.parent.mkdir(parents=True, exist_ok=True)
                         path.write_bytes(CORRUPT_PAYLOAD)
                         stats.record_fault(corrupt.kind)
+                        obs.fault_injected(**corrupt.trace_fields())
                 load_started = time.perf_counter()
+                quarantined_before = (
+                    cache.quarantine_count if cache is not None else 0
+                )
                 cached = (
                     cache.load_cell(key, i, j, repetitions)
                     if cache is not None
                     else None
                 )
+                if cache is not None:
+                    newly_quarantined = cache.quarantine_count - quarantined_before
+                    if newly_quarantined:
+                        stats.record_quarantined(newly_quarantined)
+                        obs.cache_quarantine(i, j)
                 if cached is not None:
-                    stats.cache_hits += 1
+                    stats.record_cache_hit()
+                    obs.cache_hit(i, j)
                     elapsed = time.perf_counter() - load_started
                     checkpoint(i, j, cached, elapsed, None)
                     finish(i, j, cached, elapsed)
                 else:
                     if cache is not None:
-                        stats.cache_misses += 1
+                        stats.record_cache_miss()
+                        obs.cache_miss(i, j)
                     # Plan in the parent: the per-event CPI probes behind
                     # _plan_pair are cached per (machine, event), so every
                     # pending cell after the first reuses them, and workers
@@ -884,8 +1145,10 @@ def execute_campaign(
             cell_samples: np.ndarray,
             elapsed: float,
             phases: dict[str, float],
+            fragment: dict | None = None,
         ) -> None:
-            stats.cells_simulated += 1
+            worker_pid = fragment.get("worker_pid") if fragment else None
+            stats.record_simulated(worker_pid)
             if cache is not None:
                 cache.store_cell(key, cell.i, cell.j, cell_samples)
             checkpoint(cell.i, cell.j, cell_samples, elapsed, phases)
@@ -897,27 +1160,28 @@ def execute_campaign(
             fault = fault_plan.worker_fault(cell.i, cell.j, attempt)
             if fault is not None:
                 stats.record_fault(fault.kind)
+                obs.fault_injected(attempt=attempt, **fault.trace_fields())
             return fault
 
         if effective_workers <= 1 or len(pending) <= 1:
             _run_serial(
                 pending, machine, config, repetitions, stats,
                 max_retries, cell_timeout_s, names,
-                dispatch_fault, complete_cell,
+                dispatch_fault, complete_cell, obs,
             )
         elif pending:
             _run_pool(
                 pending, machine, config, repetitions, stats,
                 effective_workers, max_retries, cell_timeout_s, names,
-                dispatch_fault, complete_cell,
+                dispatch_fault, complete_cell, obs,
             )
+        status = "ok"
     finally:
         if campaign_journal is not None:
             campaign_journal.close()
+        stats.wall_seconds = time.perf_counter() - started
+        obs.campaign_end(status=status, wall_seconds=stats.wall_seconds)
 
-    if cache is not None:
-        stats.quarantined = cache.quarantine_count - quarantined_before
-    stats.wall_seconds = time.perf_counter() - started
     return samples, stats
 
 
@@ -932,17 +1196,24 @@ def _run_serial(
     names: Sequence[str],
     dispatch_fault: Callable[[_PendingCell, int], CellFault | None],
     complete_cell: Callable,
+    obs: CampaignObservability,
 ) -> None:
     """Simulate the cold cells in-process, with the retry loop.
 
-    An in-process cell cannot be preempted, so an injected hang simply
-    runs long and a ``cell_timeout_s`` overrun is counted in the stats
-    without killing the attempt.
+    Timeout semantics match the pool path: an in-process attempt cannot
+    be preempted, so an injected hang runs until it returns, but an
+    attempt that comes back over budget counts as a timeout, its result
+    is **discarded**, and the cell is retried from its original seed —
+    or, with the retry budget exhausted, the campaign fails with the
+    same "exceeded the budget on all attempts" error the pool raises.
+    Counters, journal contents, and samples are identical across modes.
     """
     for cell in pending:
+        pair = f"{names[cell.i]}/{names[cell.j]}"
         attempt = 0
         while True:
             fault = dispatch_fault(cell, attempt)
+            obs.cell_start(cell.i, cell.j, attempt, pair)
             cell_started = time.perf_counter()
             phases: dict[str, float] = {}
             try:
@@ -954,11 +1225,16 @@ def _run_serial(
                     plan=cell.plan, phase_seconds=phases,
                 )
             except Exception as error:  # noqa: BLE001 — classified below
+                obs.cell_end(
+                    cell.i, cell.j, attempt, status="error",
+                    elapsed_s=time.perf_counter() - cell_started,
+                    error=str(error),
+                )
                 if _is_retryable(error) and attempt < max_retries:
-                    stats.retries += 1
+                    stats.record_retry()
+                    obs.cell_retry(cell.i, cell.j, attempt + 1, reason="error")
                     attempt += 1
                     continue
-                pair = f"{names[cell.i]}/{names[cell.j]}"
                 raise CellExecutionError(
                     f"cell {pair} failed on all {attempt + 1} attempt(s): "
                     f"{error} (completed cells are journaled; rerun with "
@@ -967,8 +1243,37 @@ def _run_serial(
                 ) from error
             elapsed = time.perf_counter() - cell_started
             if cell_timeout_s is not None and elapsed > cell_timeout_s:
-                stats.timeouts += 1
-            complete_cell(cell, cell_samples, elapsed, phases)
+                # Over budget: discard the result and retry, exactly as
+                # the pool path abandons a hung attempt.  The retry
+                # replays the cell's original seed, so a campaign that
+                # overruns and then succeeds stays bit-identical.
+                stats.record_timeout()
+                obs.cell_timeout(cell.i, cell.j, attempt, cell_timeout_s)
+                obs.cell_end(
+                    cell.i, cell.j, attempt, status="timeout",
+                    elapsed_s=elapsed,
+                )
+                if attempt < max_retries:
+                    stats.record_retry()
+                    obs.cell_retry(cell.i, cell.j, attempt + 1, reason="timeout")
+                    attempt += 1
+                    continue
+                raise CellExecutionError(
+                    f"cell {pair} exceeded the {cell_timeout_s:g} s budget "
+                    f"on all {attempt + 1} attempt(s) (completed cells are "
+                    "journaled; rerun with resume to continue)",
+                    i=cell.i, j=cell.j, pair=pair, attempts=attempt + 1,
+                )
+            fragment = {
+                "worker_pid": os.getpid(),
+                "elapsed_s": elapsed,
+                "phase_seconds": dict(phases),
+            }
+            obs.cell_end(
+                cell.i, cell.j, attempt, status="ok",
+                elapsed_s=elapsed, fragment=fragment,
+            )
+            complete_cell(cell, cell_samples, elapsed, phases, fragment)
             break
 
 
@@ -984,6 +1289,7 @@ def _run_pool(
     names: Sequence[str],
     dispatch_fault: Callable[[_PendingCell, int], CellFault | None],
     complete_cell: Callable,
+    obs: CampaignObservability,
 ) -> None:
     """Fan the cold cells out across worker processes.
 
@@ -1027,6 +1333,10 @@ def _run_pool(
             while queue and len(outstanding) < slots:
                 cell, attempt = queue.popleft()
                 fault = dispatch_fault(cell, attempt)
+                obs.cell_start(
+                    cell.i, cell.j, attempt,
+                    f"{names[cell.i]}/{names[cell.j]}",
+                )
                 future = pool.submit(
                     _cell_task,
                     cell.i, cell.j, cell.event_a, cell.event_b,
@@ -1060,12 +1370,25 @@ def _run_pool(
                 cell, _submitted, attempt = outstanding.pop(future)
                 error = future.exception()
                 if error is None:
-                    i, j, cell_samples, elapsed, phases = future.result()
-                    complete_cell(cell, cell_samples, elapsed, phases)
+                    i, j, cell_samples, elapsed, phases, fragment = future.result()
+                    obs.cell_end(
+                        cell.i, cell.j, attempt, status="ok",
+                        elapsed_s=elapsed, fragment=fragment,
+                    )
+                    complete_cell(cell, cell_samples, elapsed, phases, fragment)
                 elif _is_retryable(error) and attempt < max_retries:
-                    stats.retries += 1
+                    obs.cell_end(
+                        cell.i, cell.j, attempt, status="error",
+                        error=str(error),
+                    )
+                    stats.record_retry()
+                    obs.cell_retry(cell.i, cell.j, attempt + 1, reason="error")
                     queue.append((cell, attempt + 1))
                 else:
+                    obs.cell_end(
+                        cell.i, cell.j, attempt, status="error",
+                        error=str(error),
+                    )
                     raise fail(
                         cell, attempt + 1,
                         f"failed on all {attempt + 1} attempt(s): {error}",
@@ -1076,14 +1399,20 @@ def _run_pool(
                     if now - submitted < cell_timeout_s or future.done():
                         continue
                     del outstanding[future]
-                    stats.timeouts += 1
+                    stats.record_timeout()
+                    obs.cell_timeout(cell.i, cell.j, attempt, cell_timeout_s)
+                    obs.cell_end(
+                        cell.i, cell.j, attempt, status="timeout",
+                        elapsed_s=now - submitted,
+                    )
                     if not future.cancel():
                         # Already running in a worker: write the slot off
                         # until the (possibly hung) attempt returns.
                         abandoned.add(future)
                         slots -= 1
                     if attempt < max_retries:
-                        stats.retries += 1
+                        stats.record_retry()
+                        obs.cell_retry(cell.i, cell.j, attempt + 1, reason="timeout")
                         queue.append((cell, attempt + 1))
                     else:
                         raise fail(

@@ -122,6 +122,19 @@ class CellFault:
             spec += f"x{self.count}"
         return spec
 
+    def trace_fields(self) -> dict:
+        """The fault's identity as flat trace-record fields.
+
+        Returned as ``{"fault_kind": ..., "i": ..., "j": ...}`` plus
+        ``"seconds"`` for hang faults, matching the field names the
+        observability layer writes into ``fault_injected`` trace events
+        (see :meth:`repro.obs.CampaignObservability.fault_injected`).
+        """
+        fields: dict = {"fault_kind": self.kind, "i": self.i, "j": self.j}
+        if self.kind == "hang":
+            fields["seconds"] = self.seconds
+        return fields
+
     def apply(self) -> None:
         """Fire a worker-side fault: raise or sleep.
 

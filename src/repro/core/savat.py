@@ -47,6 +47,12 @@ from repro.units import REFERENCE_IMPEDANCE, ZEPTOJOULE
 #: Supported measurement methods.
 METHODS = ("analytic", "synthesis")
 
+#: Pipeline phases timed by :func:`record_phase_seconds`, in pipeline
+#: order.  The campaign executor's observability layer labels its
+#: ``savat_cell_phase_seconds`` / ``savat_phase_seconds_total`` metrics
+#: with exactly these names.
+PHASE_NAMES = ("prime", "core_run", "synthesize", "analyze")
+
 #: Active phase-timing sink (``None``: phase timing disabled).
 _PHASE_SINK: dict[str, float] | None = None
 
@@ -58,9 +64,10 @@ def record_phase_seconds(sink: dict[str, float]) -> Iterator[dict[str, float]]:
     While active, the measurement pipeline adds elapsed time under the
     keys ``"prime"`` (cache pre-conditioning), ``"core_run"``
     (instruction-level simulation), ``"synthesize"`` (signal tiling) and
-    ``"analyze"`` (spectrum / band-power integration).  The campaign
-    executor wraps each cell in this to build the per-cell breakdown in
-    ``matrix.metadata["execution"]``.
+    ``"analyze"`` (spectrum / band-power integration) — see
+    :data:`PHASE_NAMES`.  The campaign executor wraps each cell in this
+    to build the per-cell breakdown in ``matrix.metadata["execution"]``
+    and the phase-labeled series in its metrics registry.
     """
     global _PHASE_SINK
     previous = _PHASE_SINK

@@ -1,0 +1,409 @@
+"""Metrics registry: named counters, gauges, and histograms with labels.
+
+The campaign executor used to keep its instrumentation as loose integers
+on ``CampaignStats`` and ad-hoc dicts threaded through return values.
+This module gives those counters a single home — a
+:class:`MetricsRegistry` of named metrics, each optionally carrying a
+fixed set of label names (``machine``, ``phase``, ``pair``, ``worker``,
+...) — plus two export surfaces:
+
+* :meth:`MetricsRegistry.to_prometheus` renders the registry in the
+  Prometheus text exposition format (``# HELP`` / ``# TYPE`` headers,
+  one ``name{label="value"} value`` sample per labelled child, and the
+  ``_bucket`` / ``_sum`` / ``_count`` triplet for histograms), which is
+  what ``savat campaign --metrics-out FILE`` writes;
+* :meth:`MetricsRegistry.snapshot` returns the same data as a
+  JSON-ready mapping, which is how ``matrix.metadata["execution"]`` is
+  generated *from* the registry instead of alongside it.
+
+The implementation is dependency-free and deliberately small: three
+metric kinds, insertion-ordered children (so per-cell series keep the
+campaign's completion order), and strict name/label validation so a
+typo fails at registration time rather than producing a silent second
+time series.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Metric and label names must be valid Prometheus identifiers.
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets, tuned for per-cell wall times (seconds).
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0,
+)
+
+
+def _check_name(name: str, what: str) -> str:
+    if not _NAME_PATTERN.match(name):
+        raise ConfigurationError(
+            f"invalid {what} {name!r}; expected [a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Render a sample value in Prometheus text form.
+
+    Integral values print without a fractional part so counter samples
+    stay exactly comparable with the integer counters in
+    ``matrix.metadata["execution"]``; non-integral values use ``repr``
+    so a round-trip through the text format is lossless.
+    """
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Child:
+    """One labelled time series of a metric family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def get(self) -> float:
+        """Current value of this series."""
+        return self.value
+
+
+class _CounterChild(_Child):
+    """A monotonically increasing labelled series."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter; ``amount`` must be non-negative."""
+        if amount < 0:
+            raise ConfigurationError("counters can only increase")
+        self.value += amount
+
+
+class _GaugeChild(_Child):
+    """A labelled series that can be set to any value."""
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.value += amount
+
+
+class _HistogramChild:
+    """One labelled histogram series.
+
+    ``bucket_counts`` stores per-bucket (non-cumulative) counts; the
+    Prometheus export cumulates them into the ``le``-labelled samples.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for index, upper in enumerate(self.buckets):
+            if value <= upper:
+                self.bucket_counts[index] += 1
+                break
+
+    def get(self) -> float:
+        """The sum of all observations (the family's scalar view)."""
+        return self.sum
+
+
+_CHILD_TYPES = {
+    "counter": _CounterChild,
+    "gauge": _GaugeChild,
+}
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and labelled children.
+
+    Families are created through :class:`MetricsRegistry` (``counter`` /
+    ``gauge`` / ``histogram``); calling :meth:`labels` materializes (or
+    returns) the child series for one label-value combination, and the
+    mutators (``inc`` / ``set`` / ``observe``) on the family itself act
+    on the label-less child, which is the common case for campaign-wide
+    counters.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = _check_name(name, "metric name")
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(
+            _check_name(label, "label name") for label in labelnames
+        )
+        self.buckets = tuple(sorted(set(float(b) for b in buckets)))
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.labelnames:
+            # A label-less metric exists (at zero) from registration on,
+            # so never-incremented counters still export as 0 samples.
+            self._children[()] = self._make_child()
+
+    # ------------------------------------------------------------------
+    def _make_child(self):
+        if self.kind == "histogram":
+            return _HistogramChild(self.buckets)
+        return _CHILD_TYPES[self.kind]()
+
+    def labels(self, **labelvalues: str):
+        """The child series for one combination of label values.
+
+        Children are created on first use and iterate in creation order,
+        so exports preserve the order events were first observed in.
+        """
+        if set(labelvalues) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _unlabelled(self):
+        if self.labelnames:
+            raise ConfigurationError(
+                f"metric {self.name} has labels {self.labelnames}; "
+                "use .labels(...) to pick a series"
+            )
+        return self.labels()
+
+    # Family-level shortcuts for label-less metrics -------------------
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less series (counters and gauges)."""
+        self._unlabelled().inc(amount)
+
+    def set(self, value: float) -> None:
+        """Set the label-less series (gauges only)."""
+        self._unlabelled().set(value)
+
+    def observe(self, value: float) -> None:
+        """Record one observation on the label-less series (histograms)."""
+        self._unlabelled().observe(value)
+
+    def value(self, labels: Mapping[str, str] | None = None) -> float:
+        """Current value of one series (0 if it was never touched)."""
+        if labels is None and not self.labelnames:
+            child = self._children.get(())
+            return child.get() if child is not None else 0.0
+        key = tuple(str((labels or {})[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        return child.get() if child is not None else 0.0
+
+    def series(self) -> Iterator[tuple[dict[str, str], object]]:
+        """Iterate ``(labels, child)`` pairs in creation order."""
+        for key, child in self._children.items():
+            yield dict(zip(self.labelnames, key)), child
+
+
+class MetricsRegistry:
+    """A collection of metric families with Prometheus and JSON exports.
+
+    Registration is idempotent for an identical schema (same kind, help
+    text may differ) and raises :class:`~repro.errors.ConfigurationError`
+    on a conflicting re-registration, so two subsystems can safely ask
+    for the same counter but can never silently shadow each other.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                raise ConfigurationError(
+                    f"metric {name} already registered as {existing.kind} "
+                    f"with labels {existing.labelnames}; cannot re-register "
+                    f"as {kind} with labels {tuple(labelnames)}"
+                )
+            return existing
+        family = MetricFamily(name, help_text, kind, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a monotonically increasing counter."""
+        return self._register(name, help_text, "counter", labelnames)
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a gauge (set to arbitrary values)."""
+        return self._register(name, help_text, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        """Register (or fetch) a histogram with cumulative buckets."""
+        return self._register(name, help_text, "histogram", labelnames, buckets)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> MetricFamily:
+        """Look up a registered family by name."""
+        try:
+            return self._families[name]
+        except KeyError:
+            raise ConfigurationError(f"no metric named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __iter__(self) -> Iterator[MetricFamily]:
+        return iter(self._families.values())
+
+    def value(self, name: str, labels: Mapping[str, str] | None = None) -> float:
+        """Shortcut for ``registry.get(name).value(labels)``."""
+        return self.get(name).value(labels)
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Render every family in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for family in self._families.values():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.series():
+                if family.kind == "histogram":
+                    lines.extend(self._histogram_lines(family, labels, child))
+                else:
+                    lines.append(
+                        f"{family.name}{self._label_text(labels)} "
+                        f"{format_value(child.get())}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _label_text(labels: Mapping[str, str]) -> str:
+        if not labels:
+            return ""
+        rendered = ",".join(
+            f'{name}="{_escape_label_value(str(value))}"'
+            for name, value in labels.items()
+        )
+        return "{" + rendered + "}"
+
+    @classmethod
+    def _histogram_lines(
+        cls, family: MetricFamily, labels: Mapping[str, str], child
+    ) -> list[str]:
+        lines = []
+        cumulative = 0
+        for upper, count in zip(child.buckets, child.bucket_counts):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = format_value(upper)
+            lines.append(
+                f"{family.name}_bucket{cls._label_text(bucket_labels)} "
+                f"{cumulative}"
+            )
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(
+            f"{family.name}_bucket{cls._label_text(inf_labels)} {child.count}"
+        )
+        lines.append(
+            f"{family.name}_sum{cls._label_text(labels)} "
+            f"{format_value(child.sum)}"
+        )
+        lines.append(
+            f"{family.name}_count{cls._label_text(labels)} {child.count}"
+        )
+        return lines
+
+    def snapshot(self) -> dict:
+        """JSON-ready mapping of every family and its labelled series."""
+        payload: dict = {}
+        for family in self._families.values():
+            series = []
+            for labels, child in family.series():
+                if family.kind == "histogram":
+                    series.append(
+                        {
+                            "labels": labels,
+                            "sum": child.sum,
+                            "count": child.count,
+                            "buckets": {
+                                format_value(upper): count
+                                for upper, count in zip(
+                                    child.buckets, child.bucket_counts
+                                )
+                            },
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": child.get()})
+            payload[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "series": series,
+            }
+        return payload
+
+    def to_json(self) -> str:
+        """The :meth:`snapshot` mapping serialized as JSON text."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "format_value",
+]

@@ -172,6 +172,78 @@ class TestCacheCorruption:
         assert contents == {b"first corruption", b"second corruption"}
 
 
+class TestLoadCellCounterSemantics:
+    """Pin the exactly-once counter discipline of ``load_cell``.
+
+    Every call increments exactly one of ``hits``/``misses``; a
+    quarantined entry increments ``quarantined``-side counters and
+    ``misses`` exactly once each and never ``hits`` — in direct unit
+    use and through both serial and pool campaign executions.
+    """
+
+    def _counters(self, cache):
+        return (cache.hits, cache.misses, cache.quarantine_count)
+
+    def test_absent_entry_is_one_miss_no_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load_cell("k", 0, 0, repetitions=2) is None
+        assert self._counters(cache) == (0, 1, 0)
+
+    def test_good_entry_is_one_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_cell("k", 0, 0, np.ones(2))
+        assert cache.load_cell("k", 0, 0, repetitions=2) is not None
+        assert self._counters(cache) == (1, 0, 0)
+
+    def test_unreadable_entry_is_one_miss_one_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.cell_path("k", 0, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"garbage")
+        assert cache.load_cell("k", 0, 0, repetitions=2) is None
+        assert self._counters(cache) == (0, 1, 1)
+
+    def test_wrong_shape_entry_is_one_miss_one_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_cell("k", 0, 0, np.ones(3))
+        assert cache.load_cell("k", 0, 0, repetitions=2) is None
+        assert self._counters(cache) == (0, 1, 1)
+
+    def test_non_finite_entry_is_one_miss_one_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_cell("k", 0, 0, np.array([1.0, np.inf]))
+        assert cache.load_cell("k", 0, 0, repetitions=2) is None
+        assert self._counters(cache) == (0, 1, 1)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workers", [0, 2], ids=["serial", "pool"])
+    def test_campaign_quarantine_counts_exactly_once_per_mode(
+        self, core2duo_10cm, tmp_path, workers
+    ):
+        cells = len(EVENTS) ** 2
+        _run(core2duo_10cm, tmp_path)  # warm the cache
+        cache = ResultCache(tmp_path)
+        key = campaign_cache_key(
+            core2duo_10cm.name,
+            core2duo_10cm.distance_m,
+            FAST_CONFIG,
+            EVENTS,
+            REPETITIONS,
+            SEED,
+        )
+        cache.cell_path(key, 0, 1).write_bytes(b"corrupt")
+        matrix = _run(core2duo_10cm, None, cache=cache, workers=workers)
+        execution = _execution(matrix)
+        # The corrupt entry: one quarantine, one miss, never a hit —
+        # on the cache object and in the execution metadata alike.
+        assert (cache.hits, cache.misses) == (cells - 1, 1)
+        assert cache.quarantine_count == 1
+        assert execution["quarantined"] == 1
+        assert execution["cache_misses"] == 1
+        assert execution["cache_hits"] == cells - 1
+        assert execution["cells_simulated"] == 1
+
+
 class TestCacheKey:
     BASE = dict(
         machine_name="core2duo",

@@ -223,15 +223,68 @@ class TestHangFaults:
         assert execution["timeouts"] == 0
         assert execution["retries"] == 0
 
-    def test_serial_overrun_is_counted_but_not_preempted(self, core2duo_10cm, clean):
+    def test_serial_overrun_is_discarded_and_retried(self, core2duo_10cm, clean):
         # A serial in-process cell cannot be killed, so the hang runs to
-        # completion and the overrun is only recorded in the stats.
+        # completion — but once it returns, the overrun attempt counts
+        # one timeout, its result is discarded, and the retry (replaying
+        # the original seed) produces the cell: the same counters the
+        # pool path records for an abandoned hung attempt.
         plan = FaultPlan.from_spec("hang@0,1:0.5")
         matrix = _run(core2duo_10cm, cell_timeout_s=0.2, fault_plan=plan)
         execution = _execution(matrix)
         assert np.array_equal(matrix.samples_zj, clean.samples_zj)
         assert execution["timeouts"] == 1
-        assert execution["retries"] == 0
+        assert execution["retries"] == 1
+
+    def test_overrun_then_success_matches_across_modes(
+        self, core2duo_10cm, clean, tmp_path
+    ):
+        # The satellite regression: a cell that overruns its budget once
+        # and then succeeds must leave identical timeout/retry counters,
+        # identical journal contents, and bit-identical samples whether
+        # the campaign ran serially or under the process pool.
+        plan_spec = "hang@0,1:1.2"
+        outcomes = {}
+        for label, workers in (("serial", 0), ("pool", 2)):
+            journal = tmp_path / f"journal_{label}.jsonl"
+            matrix = _run(
+                core2duo_10cm,
+                workers=workers,
+                cell_timeout_s=0.4,
+                journal=journal,
+                fault_plan=FaultPlan.from_spec(plan_spec),
+            )
+            execution = _execution(matrix)
+            records = [
+                json.loads(line) for line in journal.read_text().splitlines()
+            ]
+            journaled_cells = sorted(
+                (r["i"], r["j"]) for r in records if r["kind"] == "cell"
+            )
+            assert np.array_equal(matrix.samples_zj, clean.samples_zj)
+            outcomes[label] = {
+                "timeouts": execution["timeouts"],
+                "retries": execution["retries"],
+                "cells_simulated": execution["cells_simulated"],
+                "faults_injected": execution["faults_injected"],
+                "journaled_cells": journaled_cells,
+            }
+        assert outcomes["serial"] == outcomes["pool"]
+        assert outcomes["serial"]["timeouts"] == 1
+        assert outcomes["serial"]["retries"] == 1
+
+    def test_serial_overrun_exhausting_retries_fails_like_the_pool(
+        self, core2duo_10cm
+    ):
+        plan = FaultPlan.from_spec("hang@0,1:0.5x9")
+        with pytest.raises(CellExecutionError) as excinfo:
+            _run(
+                core2duo_10cm, cell_timeout_s=0.2, max_retries=1,
+                fault_plan=plan,
+            )
+        assert excinfo.value.pair == "ADD/SUB"
+        assert excinfo.value.attempts == 2
+        assert "exceeded the 0.2 s budget" in str(excinfo.value)
 
     def test_hang_on_every_attempt_exhausts_the_budget(self, core2duo_10cm):
         plan = FaultPlan.from_spec("hang@0,1:5x9")

@@ -1,0 +1,140 @@
+"""Unit tests for the metrics registry and its Prometheus export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.check import parse_prometheus
+from repro.obs.metrics import MetricsRegistry, format_value
+
+
+class TestRegistryBasics:
+    def test_counter_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("savat_things_total", "Things.")
+        counter.inc()
+        counter.inc(2)
+        assert registry.value("savat_things_total") == 3
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter("savat_things_total", "Things.")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_sets_and_adds(self):
+        gauge = MetricsRegistry().gauge("savat_level", "Level.")
+        gauge.set(4.5)
+        gauge.inc(-1.5)
+        assert gauge.value() == 3.0
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        family = registry.counter("savat_faults_total", "Faults.", labelnames=("kind",))
+        family.labels(kind="raise").inc()
+        family.labels(kind="hang").inc(2)
+        assert registry.value("savat_faults_total", {"kind": "raise"}) == 1
+        assert registry.value("savat_faults_total", {"kind": "hang"}) == 2
+
+    def test_series_iterate_in_creation_order(self):
+        family = MetricsRegistry().gauge("savat_cell", "Cell.", labelnames=("pair",))
+        for pair in ("B/A", "A/B", "C/C"):
+            family.labels(pair=pair).set(1.0)
+        assert [labels["pair"] for labels, _ in family.series()] == [
+            "B/A", "A/B", "C/C",
+        ]
+
+    def test_wrong_labels_are_rejected(self):
+        family = MetricsRegistry().counter("savat_x_total", "X.", labelnames=("a",))
+        with pytest.raises(ConfigurationError):
+            family.labels(b="1")
+        with pytest.raises(ConfigurationError):
+            family.inc()  # labelled family has no label-less series
+
+    def test_invalid_names_are_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("bad name", "Bad.")
+        with pytest.raises(ConfigurationError):
+            registry.counter("ok_total", "Ok.", labelnames=("0bad",))
+
+    def test_registration_is_idempotent_for_same_schema(self):
+        registry = MetricsRegistry()
+        first = registry.counter("savat_x_total", "X.")
+        again = registry.counter("savat_x_total", "X again.")
+        assert first is again
+
+    def test_conflicting_reregistration_fails(self):
+        registry = MetricsRegistry()
+        registry.counter("savat_x_total", "X.")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("savat_x_total", "Now a gauge.")
+        with pytest.raises(ConfigurationError):
+            registry.counter("savat_x_total", "X.", labelnames=("kind",))
+
+    def test_unknown_metric_lookup_fails(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().get("savat_missing")
+
+
+class TestPrometheusExport:
+    def test_zero_valued_labelless_metrics_export(self):
+        registry = MetricsRegistry()
+        registry.counter("savat_untouched_total", "Never incremented.")
+        samples, errors = parse_prometheus(registry.to_prometheus())
+        assert errors == []
+        assert samples[("savat_untouched_total", frozenset())] == 0
+
+    def test_integral_values_render_without_fraction(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.5) == "0.5"
+        registry = MetricsRegistry()
+        registry.counter("savat_n_total", "N.").inc(7)
+        assert "savat_n_total 7" in registry.to_prometheus().splitlines()
+
+    def test_help_and_type_lines(self):
+        registry = MetricsRegistry()
+        registry.gauge("savat_level", "The level.")
+        text = registry.to_prometheus()
+        assert "# HELP savat_level The level." in text
+        assert "# TYPE savat_level gauge" in text
+
+    def test_label_values_are_escaped_and_still_parse(self):
+        registry = MetricsRegistry()
+        family = registry.counter("savat_x_total", "X.", labelnames=("pair",))
+        family.labels(pair='A"B\\C').inc()
+        text = registry.to_prometheus()
+        assert 'pair="A\\"B\\\\C"' in text
+        samples, errors = parse_prometheus(text)
+        assert errors == []
+        assert len(samples) == 1
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "savat_duration_seconds", "Durations.", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.7, 5.0):
+            histogram.observe(value)
+        lines = registry.to_prometheus().splitlines()
+        assert 'savat_duration_seconds_bucket{le="0.1"} 1' in lines
+        assert 'savat_duration_seconds_bucket{le="1"} 3' in lines
+        assert 'savat_duration_seconds_bucket{le="10"} 4' in lines
+        assert 'savat_duration_seconds_bucket{le="+Inf"} 4' in lines
+        assert "savat_duration_seconds_count 4" in lines
+        assert any(line.startswith("savat_duration_seconds_sum ") for line in lines)
+
+
+class TestSnapshotExport:
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("savat_x_total", "X.").inc(2)
+        registry.histogram("savat_h_seconds", "H.", buckets=(1.0,)).observe(0.5)
+        payload = json.loads(registry.to_json())
+        assert payload["savat_x_total"]["series"][0]["value"] == 2
+        assert payload["savat_h_seconds"]["series"][0]["count"] == 1
+
+    def test_untouched_labelled_family_has_no_series(self):
+        registry = MetricsRegistry()
+        registry.counter("savat_x_total", "X.", labelnames=("kind",))
+        assert registry.snapshot()["savat_x_total"]["series"] == []

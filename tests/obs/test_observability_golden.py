@@ -1,0 +1,157 @@
+"""Golden trace/metrics test: the observability outputs of one campaign.
+
+Runs a small campaign with injected faults and every observability
+output enabled, then holds the artifacts to the contract the CI smoke
+step relies on: the JSONL trace is schema-valid with per-attempt span
+identities, the Prometheus file parses cleanly, and the registry
+counters equal ``matrix.metadata["execution"]`` bit-for-bit (the
+metadata is generated *from* the registry, so equality is exact).
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.faults import FaultPlan
+from repro.core.savat import PHASE_NAMES, MeasurementConfig
+from repro.obs import CampaignObservability
+from repro.obs.check import (
+    EXECUTION_COUNTERS,
+    EXECUTION_GAUGES,
+    check_against_execution,
+    parse_prometheus,
+)
+from repro.obs.trace import read_trace, validate_trace_file
+
+FAST_CONFIG = MeasurementConfig(alternation_frequency_hz=800e3)
+
+EVENTS = ("ADD", "SUB")
+SEED = 3
+REPETITIONS = 2
+CELLS = len(EVENTS) ** 2
+
+
+def _run(machine, observability, **overrides):
+    parameters = dict(
+        events=EVENTS,
+        repetitions=REPETITIONS,
+        seed=SEED,
+        config=FAST_CONFIG,
+        observability=observability,
+    )
+    parameters.update(overrides)
+    return run_campaign(machine, **parameters)
+
+
+@pytest.mark.slow
+class TestGoldenObservability:
+    @pytest.fixture(scope="class")
+    def golden(self, core2duo_10cm, tmp_path_factory):
+        """One faulted campaign with trace, metrics, and progress on."""
+        directory = tmp_path_factory.mktemp("obs-golden")
+        trace_path = directory / "trace.jsonl"
+        metrics_path = directory / "metrics.prom"
+        progress_stream = io.StringIO()
+        observability = CampaignObservability(
+            trace=trace_path,
+            metrics_out=metrics_path,
+            progress=True,
+            progress_stream=progress_stream,
+        )
+        matrix = _run(
+            core2duo_10cm,
+            observability,
+            fault_plan=FaultPlan.from_spec("raise@0,1"),
+        )
+        return {
+            "matrix": matrix,
+            "observability": observability,
+            "trace_path": trace_path,
+            "metrics_path": metrics_path,
+            "progress": progress_stream.getvalue(),
+        }
+
+    def test_trace_is_schema_valid(self, golden):
+        assert validate_trace_file(golden["trace_path"]) == []
+
+    def test_trace_tells_the_fault_story(self, golden):
+        records = read_trace(golden["trace_path"])
+        names = [r.get("name") for r in records[1:]]
+        assert names[0] == "campaign_start"
+        assert names[-1] == "campaign_end"
+        faults = [r for r in records if r.get("name") == "fault_injected"]
+        assert [(f["fault_kind"], f["i"], f["j"]) for f in faults] == [
+            ("raise", 0, 1)
+        ]
+        retries = [r for r in records if r.get("name") == "cell_retry"]
+        assert [(r["i"], r["j"], r["reason"]) for r in retries] == [
+            (0, 1, "error")
+        ]
+
+    def test_span_identities_cover_every_attempt(self, golden):
+        records = read_trace(golden["trace_path"])
+        starts = {
+            (r["i"], r["j"], r["attempt"])
+            for r in records
+            if r.get("kind") == "span_start"
+        }
+        # Every cell attempted once, plus the faulted cell's retry.
+        expected = {(i, j, 0) for i in range(2) for j in range(2)}
+        expected.add((0, 1, 1))
+        assert starts == expected
+        statuses = {
+            (r["i"], r["j"], r["attempt"]): r["status"]
+            for r in records
+            if r.get("kind") == "span_end"
+        }
+        assert statuses[(0, 1, 0)] == "error"
+        assert statuses[(0, 1, 1)] == "ok"
+
+    def test_ok_spans_carry_worker_fragments(self, golden):
+        records = read_trace(golden["trace_path"])
+        fragments = [
+            r["fragment"]
+            for r in records
+            if r.get("kind") == "span_end" and r["status"] == "ok"
+        ]
+        assert len(fragments) == CELLS
+        for fragment in fragments:
+            assert fragment["worker_pid"] > 0
+            assert fragment["elapsed_s"] >= 0
+            phases = set(fragment["phase_seconds"])
+            assert phases  # at least one phase timed
+            assert phases <= set(PHASE_NAMES)
+
+    def test_metrics_file_matches_execution_metadata_exactly(self, golden):
+        samples, errors = parse_prometheus(
+            golden["metrics_path"].read_text()
+        )
+        assert errors == []
+        execution = golden["matrix"].metadata["execution"]
+        assert check_against_execution(samples, execution) == []
+
+    def test_registry_counters_equal_metadata_bit_for_bit(self, golden):
+        registry = golden["observability"].metrics
+        execution = golden["matrix"].metadata["execution"]
+        for key, metric in {**EXECUTION_COUNTERS, **EXECUTION_GAUGES}.items():
+            assert registry.value(metric) == execution[key], key
+        assert execution["retries"] == 1
+        assert execution["cells_simulated"] == CELLS
+        assert execution["faults_injected"] == {"raise": 1}
+        assert registry.value(
+            "savat_faults_injected_total", {"kind": "raise"}
+        ) == 1
+
+    def test_faulted_run_matches_the_clean_matrix(self, golden, core2duo_10cm):
+        clean = _run(core2duo_10cm, None)
+        assert np.array_equal(
+            golden["matrix"].samples_zj, clean.samples_zj
+        )
+
+    def test_progress_line_reached_the_stream(self, golden):
+        output = golden["progress"]
+        assert f"[{CELLS}/{CELLS}]" in output
+        assert "retries 1" in output
+        assert output.endswith("\n")

@@ -1,0 +1,127 @@
+"""Unit tests for the live CLI progress reporter."""
+
+import io
+
+from repro.obs.progress import EWMA_ALPHA, ProgressReporter, format_eta
+
+
+class SteppingClock:
+    """A clock the test advances explicitly."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def _reporter(total=10, enabled=True):
+    clock = SteppingClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        total, stream=stream, enabled=enabled, clock=clock
+    )
+    return reporter, clock, stream
+
+
+class TestFormatEta:
+    def test_seconds(self):
+        assert format_eta(42.4) == "42s"
+
+    def test_minutes(self):
+        assert format_eta(190) == "3m10s"
+
+    def test_hours(self):
+        assert format_eta(2 * 3600 + 5 * 60) == "2h05m"
+
+    def test_negative_clamps_to_zero(self):
+        assert format_eta(-3) == "0s"
+
+
+class TestEwmaEta:
+    def test_no_estimate_before_two_completions(self):
+        reporter, clock, _stream = _reporter()
+        assert reporter.eta_seconds() is None
+        clock.advance(1.0)
+        reporter.cell_completed("ADD/SUB", 1.0)
+        assert reporter.eta_seconds() is None  # one completion, no interval
+
+    def test_steady_intervals_predict_remaining_cells(self):
+        reporter, clock, _stream = _reporter(total=10)
+        for _ in range(4):
+            clock.advance(2.0)
+            reporter.cell_completed("ADD/SUB", 2.0)
+        # Constant 2 s intervals: EWMA is exactly 2, 6 cells remain.
+        assert reporter.ewma_interval_s == 2.0
+        assert reporter.eta_seconds() == 12.0
+
+    def test_ewma_updates_with_the_documented_alpha(self):
+        reporter, clock, _stream = _reporter(total=10)
+        clock.advance(1.0)
+        reporter.cell_completed("A/A", 1.0)
+        clock.advance(1.0)
+        reporter.cell_completed("A/B", 1.0)  # first interval: 1.0
+        clock.advance(3.0)
+        reporter.cell_completed("B/A", 3.0)  # second interval: 3.0
+        expected = 1.0 + EWMA_ALPHA * (3.0 - 1.0)
+        assert reporter.ewma_interval_s == expected
+
+    def test_eta_is_zero_when_done(self):
+        reporter, clock, _stream = _reporter(total=2)
+        for _ in range(2):
+            clock.advance(1.0)
+            reporter.cell_completed("A/A", 1.0)
+        assert reporter.eta_seconds() == 0.0
+
+
+class TestComposeAndRender:
+    def test_compose_shows_progress_and_tickers(self):
+        reporter, clock, _stream = _reporter(total=121)
+        clock.advance(0.7)
+        reporter.cell_completed("ADD/LDM", 0.71)
+        reporter.note_retry()
+        line = reporter.compose()
+        assert "[  1/121]" in line
+        assert "retries 1" in line
+        assert "timeouts 0" in line
+        assert "last ADD/LDM 0.71s" in line
+
+    def test_disabled_reporter_writes_nothing(self):
+        reporter, clock, stream = _reporter(enabled=False)
+        clock.advance(1.0)
+        reporter.cell_completed("A/A", 1.0)
+        reporter.note_timeout()
+        reporter.close()
+        assert stream.getvalue() == ""
+
+    def test_enabled_reporter_rewrites_in_place(self):
+        reporter, clock, stream = _reporter(total=2)
+        clock.advance(1.0)
+        reporter.cell_completed("A/A", 1.0)
+        clock.advance(1.0)
+        reporter.cell_completed("A/B", 1.0)
+        output = stream.getvalue()
+        assert output.count("\r") == 2
+        assert "\n" not in output
+
+    def test_auto_detection_disables_on_non_tty(self):
+        reporter = ProgressReporter(4, stream=io.StringIO(), enabled=None)
+        assert reporter.enabled is False
+
+    def test_close_terminates_the_line_once(self):
+        reporter, clock, stream = _reporter(total=1)
+        clock.advance(1.0)
+        reporter.cell_completed("A/A", 1.0)
+        reporter.close()
+        reporter.close()  # idempotent
+        assert stream.getvalue().count("\n") == 1
+
+    def test_counters_track_notes(self):
+        reporter, _clock, _stream = _reporter()
+        reporter.note_retry()
+        reporter.note_retry()
+        reporter.note_timeout()
+        assert (reporter.retries, reporter.timeouts) == (2, 1)

@@ -1,10 +1,150 @@
 """Tests for the savat command-line interface."""
 
+import argparse
 import json
 
+import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    _campaign_execution_kwargs,
+    _campaign_summary_lines,
+    _event_list,
+    build_parser,
+    main,
+)
+
+
+class TestEventList:
+    def test_parses_comma_separated_names(self):
+        assert _event_list("ADD,SUB,MUL") == ["ADD", "SUB", "MUL"]
+
+    def test_is_case_insensitive(self):
+        assert _event_list("add,Sub") == ["ADD", "SUB"]
+
+    def test_strips_whitespace_and_drops_empty_tokens(self):
+        assert _event_list(" ADD , ,SUB, ") == ["ADD", "SUB"]
+
+    def test_unknown_token_names_itself_and_the_choices(self):
+        with pytest.raises(argparse.ArgumentTypeError) as excinfo:
+            _event_list("ADD,bogus")
+        assert "unknown event 'bogus'" in str(excinfo.value)
+        assert "ADD" in str(excinfo.value)  # valid choices listed
+
+    def test_bare_commas_are_an_error_not_an_empty_campaign(self):
+        with pytest.raises(argparse.ArgumentTypeError) as excinfo:
+            _event_list(",,")
+        assert "no event names given" in str(excinfo.value)
+
+    def test_parser_rejects_bad_events_with_exit_code_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["campaign", "--events", "ADD,bogus"])
+        assert excinfo.value.code == 2
+        assert "unknown event 'bogus'" in capsys.readouterr().err
+
+    def test_parser_returns_a_validated_list(self):
+        args = build_parser().parse_args(["campaign", "--events", "add, sub,"])
+        assert args.events == ["ADD", "SUB"]
+
+
+class TestObservabilityFlags:
+    def test_defaults_without_environment(self, monkeypatch):
+        monkeypatch.delenv("SAVAT_METRICS_OUT", raising=False)
+        monkeypatch.delenv("SAVAT_TRACE", raising=False)
+        args = build_parser().parse_args(["campaign"])
+        assert args.metrics_out is None
+        assert args.trace is None
+        assert args.progress is None  # auto-detect
+
+    def test_flags_override(self):
+        args = build_parser().parse_args(
+            ["campaign", "--metrics-out", "m.prom", "--trace", "t.jsonl",
+             "--progress"]
+        )
+        assert args.metrics_out == "m.prom"
+        assert args.trace == "t.jsonl"
+        assert args.progress is True
+
+    def test_no_progress(self):
+        args = build_parser().parse_args(["campaign", "--no-progress"])
+        assert args.progress is False
+
+    def test_environment_defaults(self, monkeypatch):
+        monkeypatch.setenv("SAVAT_METRICS_OUT", "/tmp/env.prom")
+        monkeypatch.setenv("SAVAT_TRACE", "/tmp/env.jsonl")
+        args = build_parser().parse_args(["campaign"])
+        assert args.metrics_out == "/tmp/env.prom"
+        assert args.trace == "/tmp/env.jsonl"
+
+    def test_execution_kwargs_build_an_observability_bundle(self, tmp_path):
+        args = build_parser().parse_args(
+            ["campaign", "--trace", str(tmp_path / "t.jsonl"),
+             "--metrics-out", str(tmp_path / "m.prom"), "--no-progress"]
+        )
+        observability = _campaign_execution_kwargs(args)["observability"]
+        assert observability.trace is not None
+        assert observability.metrics_out == tmp_path / "m.prom"
+        assert observability.progress_setting is False
+
+    def test_execution_kwargs_without_flags_still_carry_a_registry(
+        self, monkeypatch
+    ):
+        monkeypatch.delenv("SAVAT_METRICS_OUT", raising=False)
+        monkeypatch.delenv("SAVAT_TRACE", raising=False)
+        args = build_parser().parse_args(["campaign"])
+        observability = _campaign_execution_kwargs(args)["observability"]
+        assert observability.trace is None
+        assert observability.metrics_out is None
+        assert observability.metrics is not None
+
+
+class _FakeCampaign:
+    """Just enough of a SavatMatrix for the summary renderer."""
+
+    events = ("ADD", "SUB")
+    repetitions = 2
+
+    def __init__(self, metadata):
+        self.metadata = metadata
+
+    def mean(self):
+        return np.ones((2, 2))
+
+    def std_over_mean(self):
+        return 0.012
+
+
+class _FakeMachine:
+    def describe(self):
+        return "core2duo at 10 cm"
+
+
+class TestCampaignSummaryLines:
+    EXECUTION = {
+        "workers": 2, "wall_seconds": 1.5, "cache_hits": 1,
+        "cache_misses": 3, "cells_simulated": 3, "resumed": 0,
+        "retries": 1, "timeouts": 0, "quarantined": 0,
+        "phase_seconds": {"core_run": 1.2},
+        "faults_injected": {"raise": 1},
+    }
+
+    def test_full_summary_includes_the_execution_footer(self):
+        lines = _campaign_summary_lines(
+            _FakeCampaign({"execution": self.EXECUTION}), _FakeMachine()
+        )
+        text = "\n".join(lines)
+        assert "3 cell(s) simulated" in text
+        assert "0 cell(s) resumed from the journal" in text
+        assert "simulation time by phase: core_run 1.2 s" in text
+        assert "injected faults fired: raise x1" in text
+
+    def test_missing_execution_metadata_degrades_gracefully(self):
+        lines = _campaign_summary_lines(_FakeCampaign({}), _FakeMachine())
+        text = "\n".join(lines)
+        assert "SAVAT (zJ) on core2duo at 10 cm:" in text
+        assert "std/mean over 2 repetitions" in text
+        assert "cell(s) simulated" not in text
+        assert "robustness" not in text
 
 
 class TestParser:
@@ -97,6 +237,26 @@ class TestCommands:
         warm = capsys.readouterr().out
         assert warm == cold
         assert list(tmp_path.rglob("cell_*.npz"))
+
+    def test_campaign_writes_trace_and_metrics(
+        self, capsys, core2duo_10cm, tmp_path
+    ):
+        from repro.obs.check import parse_prometheus
+        from repro.obs.trace import validate_trace_file
+
+        trace_path = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "run.prom"
+        code = main(
+            ["campaign", "--events", "ADD,SUB", "--repetitions", "1",
+             "--trace", str(trace_path), "--metrics-out", str(metrics_path),
+             "--no-progress", "--format", "csv"]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert validate_trace_file(trace_path) == []
+        samples, errors = parse_prometheus(metrics_path.read_text())
+        assert errors == []
+        assert samples[("savat_cells_simulated_total", frozenset())] == 4
 
     def test_audit_leaky_file(self, capsys, tmp_path):
         source = tmp_path / "victim.s"
