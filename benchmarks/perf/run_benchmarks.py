@@ -9,7 +9,12 @@ to end, on the fast and the scalar reference implementations:
 * **priming** — ``prime_alternation_steady_state`` alone, full size;
 * **finish** — ``ActivityRecorder.finish`` alone on a synthetic event
   population shaped like a measured period (mostly single-cycle events
-  plus a minority of multi-cycle windows).
+  plus a minority of multi-cycle windows);
+* **full cell** — a complete ``method="full"`` cell (10 repetitions of
+  synthesis + spectrum sweep + band integration at the paper's 1 s /
+  1 Hz RBW geometry) on the band-limited analyzer versus the
+  full-spectrum reference analyzer, including their per-sample
+  agreement.
 
 Results are written to ``BENCH_simulation.json``.  With ``--campaign``
 the cold, cache-disabled, serial Figure 9-sized campaign (11x11 events,
@@ -17,10 +22,9 @@ the cold, cache-disabled, serial Figure 9-sized campaign (11x11 events,
 baseline measured on the same container, then re-run with every
 observability output enabled (JSONL trace, Prometheus metrics file,
 progress line) to measure the instrumentation overhead against its
-<5% budget.  With ``--check`` the cold
-single-cell and priming-only latencies are compared against a
-checked-in baseline and the process exits non-zero on a >1.5x
-regression.
+<5% budget.  With ``--check`` the cold single-cell, priming-only, and
+full-cell latencies are compared against a checked-in baseline and the
+process exits non-zero on a >1.5x regression.
 
 Usage (from the repository root):
 
@@ -47,7 +51,16 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import savat  # noqa: E402
 from repro.core.executor import execute_campaign  # noqa: E402
-from repro.core.savat import clear_cpi_cache, measure_savat  # noqa: E402
+from repro.core.savat import (  # noqa: E402
+    MeasurementConfig,
+    clear_cpi_cache,
+    measure_savat,
+    measure_savat_samples,
+)
+from repro.instruments.analyzer_path import (  # noqa: E402
+    use_band_analyzer,
+    use_reference_analyzer,
+)
 from repro.isa.events import PAPER_EVENTS, get_event  # noqa: E402
 from repro.machines.calibrated import load_calibrated_machine  # noqa: E402
 from repro.obs import CampaignObservability  # noqa: E402
@@ -154,6 +167,48 @@ def bench_finish(repeats: int) -> dict:
     }
 
 
+def bench_full_cell(machine, pair: tuple[str, str], repeats: int) -> dict:
+    """One ``method="full"`` cell, paper-scale, band vs reference analyzer.
+
+    The period is simulated once (shared by both paths, as the campaign
+    executor shares it across repetitions); the timed region is the 10
+    repetitions of synthesis + spectrum sweep + band integration.  The
+    reference analyzer is timed over a single pass — its full-length
+    Bluestein transforms make every pass cost tens of seconds.
+    """
+    repetitions = 10
+    config = MeasurementConfig(method="full")
+    clear_cpi_cache()
+    plan = savat._plan_pair(machine, get_event(pair[0]), get_event(pair[1]), 80e3)
+    trace, plan = savat.simulate_alternation_period(machine, plan)
+
+    def cell():
+        return measure_savat_samples(
+            machine, pair[0], pair[1], config,
+            rng=np.random.default_rng(2014),
+            trace=trace, plan=plan, repetitions=repetitions,
+        )
+
+    with use_band_analyzer():
+        band_samples = cell()  # warm the plan/window/workspace caches
+        fast = _timed(cell, repeats)
+    with use_reference_analyzer():
+        started = time.perf_counter()
+        reference_samples = cell()
+        reference = time.perf_counter() - started
+    max_rel_diff = float(
+        np.max(np.abs(band_samples - reference_samples) / np.abs(reference_samples))
+    )
+    return {
+        "repetitions": repetitions,
+        "fast_s": fast,
+        "reference_s": reference,
+        "speedup": reference / fast,
+        "max_rel_diff": max_rel_diff,
+        "agreement_ok": bool(max_rel_diff <= 1e-9),
+    }
+
+
 def bench_campaign(machine) -> dict:
     """Cold, cache-disabled, serial Figure 9-sized campaign (fast path)."""
     clear_cpi_cache()
@@ -257,6 +312,20 @@ def run(args) -> int:
         f"{results['finish']['finish_s']:.3f}s"
     )
 
+    print("full signal-path cell (10 reps of synthesis + sweep; the")
+    print("reference analyzer pass alone takes tens of seconds)...")
+    results["full_cell"] = {
+        "ADD/LDM": bench_full_cell(machine, ("ADD", "LDM"), args.repeats)
+    }
+    numbers = results["full_cell"]["ADD/LDM"]
+    print(
+        f"  ADD/LDM: band {numbers['fast_s']:.3f}s  "
+        f"reference {numbers['reference_s']:.3f}s  "
+        f"({numbers['speedup']:.1f}x); max rel diff "
+        f"{numbers['max_rel_diff']:.2e} -> "
+        f"{'ok' if numbers['agreement_ok'] else 'OVER BUDGET'}"
+    )
+
     if args.campaign:
         print("cold serial 11x11 campaign (this takes a while on the fast path,")
         print(f"and took {PRE_PR_CAMPAIGN_SECONDS:.1f}s before the fast path)...")
@@ -288,7 +357,7 @@ def run(args) -> int:
                 pair: {"fast_s": numbers["fast_s"]}
                 for pair, numbers in results[stage].items()
             }
-            for stage in ("cold_cell", "priming")
+            for stage in ("cold_cell", "priming", "full_cell")
         }
         DEFAULT_BASELINE.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n"
@@ -298,7 +367,7 @@ def run(args) -> int:
     if args.check is not None:
         baseline = json.loads(pathlib.Path(args.check).read_text())
         failed = False
-        for stage in ("cold_cell", "priming"):
+        for stage in ("cold_cell", "priming", "full_cell"):
             for pair, numbers in baseline.get(stage, {}).items():
                 allowed = numbers["fast_s"] * REGRESSION_FACTOR
                 measured = results[stage][pair]["fast_s"]
@@ -331,8 +400,8 @@ def main() -> int:
     )
     parser.add_argument(
         "--check", metavar="BASELINE.JSON", default=None,
-        help="fail (exit 1) if cold single-cell or priming fast latency "
-        f"regresses >{REGRESSION_FACTOR}x vs the given baseline",
+        help="fail (exit 1) if cold single-cell, priming, or full-cell "
+        f"fast latency regresses >{REGRESSION_FACTOR}x vs the given baseline",
     )
     parser.add_argument(
         "--update-baseline", action="store_true",

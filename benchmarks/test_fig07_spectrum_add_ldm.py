@@ -13,12 +13,16 @@ from conftest import write_artifact
 
 from repro.analysis.visualize import spectrum_plot
 from repro.core.savat import MeasurementConfig, measure_savat
+from repro.instruments.analyzer_path import use_reference_analyzer
 
 
 def _measure(core2duo_10cm):
-    config = MeasurementConfig(method="synthesis", duration_s=0.5, rbw_hz=2.0)
+    config = MeasurementConfig(method="full", duration_s=0.5, rbw_hz=2.0)
     rng = np.random.default_rng(7)
-    return measure_savat(core2duo_10cm, "ADD", "LDM", config, rng=rng)
+    # The figure plots a 4 kHz window around the carrier, so it needs
+    # the full-sweep reference analyzer, not the band-limited one.
+    with use_reference_analyzer():
+        return measure_savat(core2duo_10cm, "ADD", "LDM", config, rng=rng)
 
 
 def test_fig07_spectrum_add_ldm(benchmark, core2duo_10cm):

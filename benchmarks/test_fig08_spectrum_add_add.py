@@ -13,12 +13,16 @@ from conftest import write_artifact
 
 from repro.analysis.visualize import spectrum_plot
 from repro.core.savat import MeasurementConfig, measure_savat
+from repro.instruments.analyzer_path import use_reference_analyzer
 
 
 def _measure_pair(machine, event_b):
-    config = MeasurementConfig(method="synthesis", duration_s=0.5, rbw_hz=2.0)
+    config = MeasurementConfig(method="full", duration_s=0.5, rbw_hz=2.0)
     rng = np.random.default_rng(8)
-    return measure_savat(machine, "ADD", event_b, config, rng=rng)
+    # The figure inspects the 81.45 kHz interferer outside the +/-1 kHz
+    # band, so it needs the full-sweep reference analyzer.
+    with use_reference_analyzer():
+        return measure_savat(machine, "ADD", event_b, config, rng=rng)
 
 
 def test_fig08_spectrum_add_add(benchmark, core2duo_10cm):

@@ -167,6 +167,42 @@ def _campaign_execution_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _add_measurement_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--method",
+        choices=("analytic", "full", "synthesis"),
+        default=os.environ.get("SAVAT_METHOD", "analytic"),
+        help="measurement method: 'analytic' integrates the periodic "
+        "waveform's band power directly; 'full' synthesizes each capture "
+        "and runs it through the spectrum-analyzer model ('synthesis' is "
+        "a legacy alias for 'full'; default: $SAVAT_METHOD or analytic)",
+    )
+    parser.add_argument(
+        "--duration-s",
+        default=os.environ.get("SAVAT_DURATION_S", 1.0),
+        metavar="SECONDS",
+        help="capture duration per repetition for the full method; "
+        "durations below 1/RBW are stretched to 1/RBW "
+        "(default: $SAVAT_DURATION_S or 1.0)",
+    )
+
+
+def _measurement_config(args: argparse.Namespace):
+    """Build the campaign ``MeasurementConfig`` from CLI arguments."""
+    from repro.core.savat import MeasurementConfig
+    from repro.errors import ConfigurationError
+
+    duration = args.duration_s
+    try:
+        duration = float(duration)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"invalid measurement duration {duration!r} (from --duration-s "
+            "or $SAVAT_DURATION_S); expected a number of seconds"
+        )
+    return MeasurementConfig(method=args.method, duration_s=duration)
+
+
 def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--machine",
@@ -259,6 +295,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
     machine = load_calibrated_machine(args.machine, args.distance)
     campaign = run_campaign(
         machine,
+        config=_measurement_config(args),
         events=args.events,
         repetitions=args.repetitions,
         seed=args.seed,
@@ -282,6 +319,7 @@ def _command_groups(args: argparse.Namespace) -> int:
     machine = load_calibrated_machine(args.machine, args.distance)
     campaign = run_campaign(
         machine,
+        config=_measurement_config(args),
         repetitions=args.repetitions,
         seed=args.seed,
         **_campaign_execution_kwargs(args),
@@ -373,7 +411,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_arguments(measure)
     measure.add_argument("--frequency", type=float, default=80e3, help="alternation Hz")
     measure.add_argument(
-        "--method", choices=("analytic", "synthesis"), default="analytic"
+        "--method",
+        choices=("analytic", "full", "synthesis"),
+        default="analytic",
+        help="measurement method ('synthesis' is a legacy alias for 'full')",
     )
     measure.set_defaults(handler=_command_measure)
 
@@ -390,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--repetitions", type=int, default=3)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--format", choices=("table", "csv", "json"), default="table")
+    _add_measurement_arguments(campaign)
     _add_execution_arguments(campaign)
     campaign.set_defaults(handler=_command_campaign)
 
@@ -398,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     groups.add_argument("--num-groups", type=int, default=4)
     groups.add_argument("--repetitions", type=int, default=2)
     groups.add_argument("--seed", type=int, default=0)
+    _add_measurement_arguments(groups)
     _add_execution_arguments(groups)
     groups.set_defaults(handler=_command_groups)
 

@@ -38,6 +38,7 @@ from repro.core.savat import (
     SavatResult,
     clear_cpi_cache,
     measure_savat,
+    measure_savat_samples,
     prime_alternation_steady_state,
     simulate_alternation_period,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "find_groups",
     "group_representatives",
     "measure_savat",
+    "measure_savat_samples",
     "measure_sequence_savat",
     "most_leaky_instructions",
     "naive_measurement",

@@ -87,7 +87,7 @@ from repro.core.faults import CORRUPT_PAYLOAD, CellFault, FaultPlan
 from repro.core.savat import (
     MeasurementConfig,
     _plan_pair,
-    measure_savat,
+    measure_savat_samples,
     record_phase_seconds,
     simulate_alternation_period,
 )
@@ -783,17 +783,16 @@ def simulate_cell(
     sink = phase_seconds if phase_seconds is not None else {}
     with record_phase_seconds(sink):
         trace, plan = simulate_alternation_period(machine, plan)
-        samples = np.empty(repetitions, dtype=np.float64)
-        for repetition in range(repetitions):
-            samples[repetition] = measure_savat(
-                machine,
-                event_a,
-                event_b,
-                config=config,
-                rng=rng,
-                trace=trace,
-                plan=plan,
-            ).savat_zj
+        samples = measure_savat_samples(
+            machine,
+            event_a,
+            event_b,
+            config=config,
+            rng=rng,
+            trace=trace,
+            plan=plan,
+            repetitions=repetitions,
+        )
     return samples
 
 

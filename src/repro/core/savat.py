@@ -11,10 +11,11 @@ and IV describe:
    get the signal at the antenna;
 4. extract the power in the +/-1 kHz band around the alternation
    frequency — either analytically (the Fourier coefficient of the
-   periodic waveform; fast, used for campaigns) or by synthesizing a
+   periodic waveform; fast, the campaign default) or by synthesizing a
    full one-second capture and running it through the spectrum-analyzer
-   model (the ``"synthesis"`` method, used for the spectrum figures and
-   for validating the fast path);
+   model (the ``"full"`` method — the only mode that exercises Figure
+   7's jitter/dispersion and the analyzer noise correction end to end;
+   ``"synthesis"`` is accepted as a legacy alias);
 5. correct for the analyzer's average noise level (as the real
    measurement procedure does), add the alternation-loop's residual
    self-noise, and divide by the number of A/B pairs per second.
@@ -35,8 +36,9 @@ from repro.codegen.alternation import build_alternation_program
 from repro.codegen.frequency import FrequencyPlan
 from repro.codegen.pointers import advance_pointer, sweep_address_stream
 from repro.em.coupling import band_power_from_modes, fourier_coefficient
-from repro.em.synthesis import JitterModel, synthesize_measurement
+from repro.em.synthesis import JitterModel, period_envelope, synthesize_measurement
 from repro.errors import ConfigurationError, MeasurementError
+from repro.instruments.analyzer_path import reference_analyzer_enabled
 from repro.instruments.spectrum_analyzer import Spectrum, SpectrumAnalyzer
 from repro.isa.events import InstructionEvent, get_event
 from repro.machines.calibrated import CalibratedMachine
@@ -45,7 +47,10 @@ from repro.uarch.fastpath import fast_path_enabled, prime_extrapolation_enabled
 from repro.units import REFERENCE_IMPEDANCE, ZEPTOJOULE
 
 #: Supported measurement methods.
-METHODS = ("analytic", "synthesis")
+METHODS = ("analytic", "full")
+
+#: Legacy method spellings, normalized by ``MeasurementConfig``.
+METHOD_ALIASES = {"synthesis": "full"}
 
 #: Pipeline phases timed by :func:`record_phase_seconds`, in pipeline
 #: order.  The campaign executor's observability layer labels its
@@ -106,6 +111,8 @@ class MeasurementConfig:
     jitter: JitterModel = field(default_factory=JitterModel)
 
     def __post_init__(self) -> None:
+        if self.method in METHOD_ALIASES:
+            object.__setattr__(self, "method", METHOD_ALIASES[self.method])
         if self.method not in METHODS:
             raise ConfigurationError(
                 f"unknown measurement method {self.method!r}; options: {METHODS}"
@@ -114,8 +121,14 @@ class MeasurementConfig:
             raise ConfigurationError("alternation frequency must be positive")
         if self.band_half_width_hz <= 0:
             raise ConfigurationError("band half-width must be positive")
-        if self.duration_s < self.rbw_hz and self.duration_s <= 0:
-            raise ConfigurationError("duration must be positive")
+        if self.rbw_hz <= 0:
+            raise ConfigurationError(
+                f"resolution bandwidth must be positive, got {self.rbw_hz}"
+            )
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration_s}"
+            )
         if self.loop_noise_fraction < 0:
             raise ConfigurationError("loop noise fraction must be non-negative")
 
@@ -500,24 +513,17 @@ def measure_savat(
     spectrum: Spectrum | None = None
     if config.method == "analytic":
         with _phase("analyze"):
-            waveform = machine.coupling.project_trace(trace)
-            coefficients = fourier_coefficient(waveform)
-            signal_power = band_power_from_modes(coefficients, REFERENCE_IMPEDANCE)
+            signal_power = _analytic_signal_power(machine, trace)
             noise_residual = _noise_residual(machine, config, rng)
     else:
         signal_power, noise_residual, spectrum = _measure_by_synthesis(
             machine, trace, config, rng
         )
 
-    self_noise_power = (
-        machine.self_noise_j(event_a.name) + machine.self_noise_j(event_b.name)
-    ) * pairs_per_second
-
-    loop_factor = 1.0
-    if rng is not None and config.loop_noise_fraction > 0:
-        loop_factor = max(1.0 + rng.normal(0.0, config.loop_noise_fraction), 0.0)
-    total_power = (signal_power + self_noise_power) * loop_factor + noise_residual
-    total_power = max(total_power, 0.0)
+    total_power = _combine_powers(
+        machine, event_a, event_b, config, rng,
+        signal_power, noise_residual, pairs_per_second,
+    )
 
     return SavatResult(
         event_a=event_a.name,
@@ -532,6 +538,101 @@ def measure_savat(
         plan=plan,
         spectrum=spectrum,
     )
+
+
+def measure_savat_samples(
+    machine: CalibratedMachine,
+    event_a: InstructionEvent | str,
+    event_b: InstructionEvent | str,
+    config: MeasurementConfig | None = None,
+    rng: np.random.Generator | None = None,
+    trace: ActivityTrace | None = None,
+    plan: FrequencyPlan | None = None,
+    repetitions: int = 1,
+) -> np.ndarray:
+    """All ``repetitions`` SAVAT samples of one cell, batched.
+
+    Bit-identical to calling :func:`measure_savat` ``repetitions`` times
+    with the shared ``rng``/``trace``/``plan`` (the campaign executor's
+    historical loop): every random draw happens in the same order, and
+    the jitter-independent per-repetition rework is hoisted instead —
+    the analytic band power is computed once (it is a pure function of
+    the trace), and the full method's period envelope is projected once
+    and re-tiled per repetition.  Phase timings still attribute to
+    ``synthesize``/``analyze`` as before.
+
+    Returns the per-repetition ``savat_zj`` values, shape
+    ``(repetitions,)``.
+    """
+    config = config or MeasurementConfig()
+    if repetitions <= 0:
+        raise ConfigurationError(f"repetitions must be positive, got {repetitions}")
+    if isinstance(event_a, str):
+        event_a = get_event(event_a)
+    if isinstance(event_b, str):
+        event_b = get_event(event_b)
+
+    if plan is None:
+        plan = _plan_pair(machine, event_a, event_b, config.alternation_frequency_hz)
+    if trace is None:
+        trace, plan = simulate_alternation_period(machine, plan)
+
+    achieved_frequency = 1.0 / trace.duration_s
+    pairs_per_second = plan.spec.inst_loop_count * achieved_frequency
+
+    samples = np.empty(repetitions)
+    if config.method == "analytic":
+        with _phase("analyze"):
+            signal_power = _analytic_signal_power(machine, trace)
+        for repetition in range(repetitions):
+            with _phase("analyze"):
+                noise_residual = _noise_residual(machine, config, rng)
+            total_power = _combine_powers(
+                machine, event_a, event_b, config, rng,
+                signal_power, noise_residual, pairs_per_second,
+            )
+            samples[repetition] = total_power / pairs_per_second / ZEPTOJOULE
+    else:
+        with _phase("synthesize"):
+            envelope = period_envelope(trace, machine.coupling)
+        for repetition in range(repetitions):
+            signal_power, noise_residual, _spectrum = _measure_by_synthesis(
+                machine, trace, config, rng, envelope=envelope, reuse_buffer=True
+            )
+            total_power = _combine_powers(
+                machine, event_a, event_b, config, rng,
+                signal_power, noise_residual, pairs_per_second,
+            )
+            samples[repetition] = total_power / pairs_per_second / ZEPTOJOULE
+    return samples
+
+
+def _analytic_signal_power(machine: CalibratedMachine, trace: ActivityTrace) -> float:
+    """Band signal power of the periodic waveform, via Fourier modes."""
+    waveform = machine.coupling.project_trace(trace)
+    coefficients = fourier_coefficient(waveform)
+    return band_power_from_modes(coefficients, REFERENCE_IMPEDANCE)
+
+
+def _combine_powers(
+    machine: CalibratedMachine,
+    event_a: InstructionEvent,
+    event_b: InstructionEvent,
+    config: MeasurementConfig,
+    rng: np.random.Generator | None,
+    signal_power: float,
+    noise_residual: float,
+    pairs_per_second: float,
+) -> float:
+    """Fold self-noise and loop noise into the total band power (W)."""
+    self_noise_power = (
+        machine.self_noise_j(event_a.name) + machine.self_noise_j(event_b.name)
+    ) * pairs_per_second
+    loop_factor = 1.0
+    if rng is not None and config.loop_noise_fraction > 0:
+        loop_factor = max(1.0 + rng.normal(0.0, config.loop_noise_fraction), 0.0)
+    total_power = (signal_power + self_noise_power) * loop_factor + noise_residual
+    return max(total_power, 0.0)
 
 
 def _noise_residual(
@@ -556,6 +657,8 @@ def _measure_by_synthesis(
     trace: ActivityTrace,
     config: MeasurementConfig,
     rng: np.random.Generator | None,
+    envelope: np.ndarray | None = None,
+    reuse_buffer: bool = False,
 ) -> tuple[float, float, Spectrum]:
     """Full signal-path measurement: synthesize, analyze, integrate.
 
@@ -563,6 +666,14 @@ def _measure_by_synthesis(
     the period trace is tiled with *no* timing jitter and the analyzer
     adds no noise, instead of silently substituting a fixed-seed
     generator whose jitter draws masqueraded as determinism.
+
+    The spectral step runs through the band-limited analyzer by default
+    and the full-sweep reference under ``SAVAT_REFERENCE_ANALYZER=1``
+    (see :mod:`repro.instruments.analyzer_path`); the band analyzer's
+    spectrum covers only the measurement band, so callers that plot the
+    whole sweep should force the reference path.  ``envelope``
+    optionally carries a precomputed :func:`period_envelope` so batched
+    repetitions skip re-projecting the jitter-independent trace.
     """
     jitter = config.jitter
     if rng is None:
@@ -574,12 +685,22 @@ def _measure_by_synthesis(
             duration_s=max(config.duration_s, 1.0 / config.rbw_hz),
             rng=rng,
             jitter=jitter,
+            envelope=envelope,
+            reuse_buffer=reuse_buffer,
         )
     with _phase("analyze"):
         analyzer = SpectrumAnalyzer(
             rbw_hz=config.rbw_hz, environment=machine.environment
         )
-        spectrum = analyzer.measure(signal, rng=rng)
+        if reference_analyzer_enabled():
+            spectrum = analyzer.measure(signal, rng=rng)
+        else:
+            spectrum = analyzer.measure_band(
+                signal,
+                config.alternation_frequency_hz,
+                config.band_half_width_hz,
+                rng=rng,
+            )
         band = spectrum.band_power_w(
             config.alternation_frequency_hz, config.band_half_width_hz
         )

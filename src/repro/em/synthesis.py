@@ -27,6 +27,89 @@ DEFAULT_ENVELOPE_SAMPLES = 64
 #: Default sample rate as a multiple of the alternation frequency.
 DEFAULT_OVERSAMPLING = 32
 
+#: Cached sample-time grids, keyed by (num_samples, sample_rate_hz).
+#: All repetitions of a cell share one grid (the capture geometry is
+#: jitter-independent), and campaigns revisit the same geometry whenever
+#: two pairs tune to the same achieved frequency.
+_TIME_GRID_CACHE: dict[tuple[int, float], np.ndarray] = {}
+_TIME_GRID_CACHE_SIZE = 4
+
+
+def measurement_time_grid(num_samples: int, sample_rate_hz: float) -> np.ndarray:
+    """Sample times ``arange(num_samples) / sample_rate_hz``, cached.
+
+    Returns a shared read-only array: building a 2.5M-entry grid per
+    repetition is pure waste since the grid only depends on the capture
+    geometry.  Values are bit-identical to the inline expression.
+    """
+    key = (int(num_samples), float(sample_rate_hz))
+    cached = _TIME_GRID_CACHE.get(key)
+    if cached is None:
+        if len(_TIME_GRID_CACHE) >= _TIME_GRID_CACHE_SIZE:
+            _TIME_GRID_CACHE.pop(next(iter(_TIME_GRID_CACHE)))
+        cached = np.arange(num_samples) / sample_rate_hz
+        cached.setflags(write=False)
+        _TIME_GRID_CACHE[key] = cached
+    return cached
+
+
+#: Single-slot output buffer for ``reuse_buffer`` synthesis, keyed by
+#: (modes, num_samples).
+_SAMPLE_BUFFER: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _sample_buffer(modes: int, num_samples: int) -> np.ndarray:
+    key = (modes, num_samples)
+    buffer = _SAMPLE_BUFFER.get(key)
+    if buffer is None:
+        _SAMPLE_BUFFER.clear()
+        buffer = np.empty(key)
+        _SAMPLE_BUFFER[key] = buffer
+    return buffer
+
+
+def tile_period_indices(
+    starts: np.ndarray,
+    durations: np.ndarray,
+    times: np.ndarray,
+    points_per_period: int,
+) -> np.ndarray:
+    """Envelope-sample index for each output sample of a jittered tiling.
+
+    Bit-identical to the reference formulation
+
+    .. code-block:: python
+
+        period_index = np.clip(np.searchsorted(starts, times, "right") - 1,
+                               0, num_periods - 1)
+        phase = (times - starts[period_index]) / durations[period_index]
+        np.clip((phase * points_per_period).astype(np.int64),
+                0, points_per_period - 1)
+
+    but searches the short period-boundary array against the long time
+    grid instead of the other way round (``P log N`` comparisons instead
+    of ``N log P``) and expands the per-period start/duration with
+    ``np.repeat`` — the same float values land in the same arithmetic,
+    only far fewer gathers run.
+    """
+    num_periods = len(durations)
+    boundaries = np.searchsorted(times, starts, side="left")
+    counts = np.diff(boundaries)
+    # Samples past the last period boundary belong to the final period
+    # (the reference formulation's upper clip).
+    counts[-1] += len(times) - boundaries[-1]
+    start_grid = np.repeat(starts[:num_periods], counts)
+    duration_grid = np.repeat(durations, counts)
+    # phase = (times - start) / duration, scaled to envelope points —
+    # computed in place over the expanded grids (same operations in the
+    # same order as the reference, without the intermediate arrays).
+    np.subtract(times, start_grid, out=start_grid)
+    np.divide(start_grid, duration_grid, out=start_grid)
+    np.multiply(start_grid, points_per_period, out=start_grid)
+    indices = start_grid.astype(np.int64)
+    np.clip(indices, 0, points_per_period - 1, out=indices)
+    return indices
+
 
 @dataclass(frozen=True)
 class JitterModel:
@@ -127,6 +210,8 @@ def synthesize_measurement(
     jitter: JitterModel | None = None,
     sample_rate_hz: float | None = None,
     envelope_samples: int = DEFAULT_ENVELOPE_SAMPLES,
+    envelope: np.ndarray | None = None,
+    reuse_buffer: bool = False,
 ) -> SynthesizedSignal:
     """Tile one alternation period into a full measurement interval.
 
@@ -149,6 +234,17 @@ def synthesize_measurement(
         measurement band.
     envelope_samples:
         Per-period envelope resolution.
+    envelope:
+        Precomputed :func:`period_envelope` of ``trace``/``couplings``.
+        The envelope is jitter-independent, so callers measuring many
+        repetitions of one cell compute it once and pass it here; only
+        the jittered tiling differs per repetition.
+    reuse_buffer:
+        Write the output samples into a shared process-wide buffer
+        instead of a fresh allocation.  Only safe when the returned
+        signal is fully consumed before the next ``reuse_buffer`` call
+        (the batched repetition loop does this); the default always
+        allocates.
 
     Raises
     ------
@@ -163,8 +259,9 @@ def synthesize_measurement(
     if sample_rate_hz is None:
         sample_rate_hz = DEFAULT_OVERSAMPLING * nominal_frequency
 
-    envelope = period_envelope(trace, couplings, envelope_samples)
-    num_modes, points_per_period = envelope.shape
+    if envelope is None:
+        envelope = period_envelope(trace, couplings, envelope_samples)
+    points_per_period = envelope.shape[1]
 
     # Generate enough jittered periods to cover the interval.
     num_periods = int(np.ceil(duration_s / nominal_period_s * 1.1)) + 4
@@ -173,13 +270,18 @@ def synthesize_measurement(
     starts = np.concatenate(([0.0], np.cumsum(durations)))
 
     num_samples = int(round(duration_s * sample_rate_hz))
-    times = np.arange(num_samples) / sample_rate_hz
-    period_index = np.searchsorted(starts, times, side="right") - 1
-    period_index = np.clip(period_index, 0, num_periods - 1)
-    phase = (times - starts[period_index]) / durations[period_index]
-    envelope_index = np.clip((phase * points_per_period).astype(np.int64), 0, points_per_period - 1)
+    times = measurement_time_grid(num_samples, sample_rate_hz)
+    envelope_index = tile_period_indices(starts, durations, times, points_per_period)
 
-    samples = envelope[:, envelope_index]
+    if reuse_buffer:
+        samples = np.take(
+            envelope,
+            envelope_index,
+            axis=1,
+            out=_sample_buffer(envelope.shape[0], num_samples),
+        )
+    else:
+        samples = envelope[:, envelope_index]
     return SynthesizedSignal(
         samples=samples,
         sample_rate_hz=float(sample_rate_hz),

@@ -1,11 +1,22 @@
 """Instrument models: spectrum analyzer, oscilloscope, DSP helpers."""
 
+from repro.instruments.analyzer_path import (
+    band_analyzer_enabled,
+    reference_analyzer_enabled,
+    use_band_analyzer,
+    use_reference_analyzer,
+)
 from repro.instruments.oscilloscope import Oscilloscope, ScopeCapture
 from repro.instruments.signal_processing import (
+    ZoomBandPlan,
+    band_bin_range,
+    band_periodogram_psd,
     band_power,
+    band_welch_psd,
     hann_window,
     peak_frequency,
     periodogram_psd,
+    rfft_bin_width,
     welch_psd,
 )
 from repro.instruments.spectrum_analyzer import Spectrum, SpectrumAnalyzer
@@ -15,9 +26,18 @@ __all__ = [
     "ScopeCapture",
     "Spectrum",
     "SpectrumAnalyzer",
+    "ZoomBandPlan",
+    "band_analyzer_enabled",
+    "band_bin_range",
+    "band_periodogram_psd",
     "band_power",
+    "band_welch_psd",
     "hann_window",
     "peak_frequency",
     "periodogram_psd",
+    "reference_analyzer_enabled",
+    "rfft_bin_width",
+    "use_band_analyzer",
+    "use_reference_analyzer",
     "welch_psd",
 ]

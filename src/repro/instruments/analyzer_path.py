@@ -1,0 +1,87 @@
+"""Global switch between the band-limited and the reference analyzer.
+
+The full signal-path measurement (``method="full"``) keeps two spectrum
+pipelines: the original *reference* analyzer — a full-length Hann/rfft
+Welch sweep over every ``N//2 + 1`` bin — and a *band-limited* fast
+analyzer that evaluates only the bins covering the measurement band
+through :class:`~repro.instruments.signal_processing.ZoomBandPlan`.
+The two agree on every per-sample ``savat_zj`` to better than 1e-9
+relative (``tests/core/test_analyzer_parity.py``), so the band analyzer
+is on by default and the full sweep is kept as the executable
+specification, mirroring :mod:`repro.uarch.fastpath`.
+
+Control:
+
+* ``SAVAT_REFERENCE_ANALYZER=1`` in the environment forces the
+  reference analyzer process-wide (workers spawned by the campaign
+  executor inherit it).
+* :func:`use_reference_analyzer` / :func:`use_band_analyzer` force a
+  path for a ``with`` block (tests and benchmarks use these to compare
+  the two).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Environment variable that disables the band-limited analyzer when
+#: set truthy.
+REFERENCE_ANALYZER_ENV = "SAVAT_REFERENCE_ANALYZER"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Per-process override installed by the context managers (None: follow
+#: the environment).
+_forced: bool | None = None
+
+
+def band_analyzer_enabled() -> bool:
+    """True when the band-limited analyzer should be used."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get(REFERENCE_ANALYZER_ENV, "").strip().lower() not in _TRUTHY
+
+
+def reference_analyzer_enabled() -> bool:
+    """True when the full-spectrum reference analyzer should be used."""
+    return not band_analyzer_enabled()
+
+
+def set_band_analyzer(enabled: bool | None) -> None:
+    """Force the band analyzer on/off, or ``None`` to follow the environment."""
+    global _forced
+    _forced = enabled
+
+
+@contextmanager
+def use_reference_analyzer() -> Iterator[None]:
+    """Force the full-spectrum reference analyzer within a ``with`` block."""
+    previous = _forced
+    set_band_analyzer(False)
+    try:
+        yield
+    finally:
+        set_band_analyzer(previous)
+
+
+@contextmanager
+def use_band_analyzer() -> Iterator[None]:
+    """Force the band-limited analyzer within a ``with`` block."""
+    previous = _forced
+    set_band_analyzer(True)
+    try:
+        yield
+    finally:
+        set_band_analyzer(previous)
+
+
+__all__ = [
+    "REFERENCE_ANALYZER_ENV",
+    "band_analyzer_enabled",
+    "reference_analyzer_enabled",
+    "set_band_analyzer",
+    "use_band_analyzer",
+    "use_reference_analyzer",
+]

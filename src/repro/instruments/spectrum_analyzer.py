@@ -19,7 +19,15 @@ import numpy as np
 from repro.errors import MeasurementError
 from repro.em.environment import NoiseEnvironment
 from repro.em.synthesis import SynthesizedSignal
-from repro.instruments.signal_processing import band_power, peak_frequency, welch_psd
+from repro.instruments.signal_processing import (
+    _comparison_bin_range,
+    band_bin_range,
+    band_power,
+    band_welch_psd,
+    peak_frequency,
+    rfft_bin_width,
+    welch_psd,
+)
 from repro.units import REFERENCE_IMPEDANCE
 
 
@@ -100,14 +108,60 @@ class SpectrumAnalyzer:
             expected (mean) noise PSD is added, making the sweep
             deterministic.
         """
-        if isinstance(signal, SynthesizedSignal):
-            samples = signal.samples
-            sample_rate_hz = signal.sample_rate_hz
-        else:
-            samples = np.asarray(signal, dtype=np.float64)
-            if sample_rate_hz is None:
-                raise MeasurementError("sample_rate_hz is required for raw sample input")
+        samples, sample_rate_hz = self._resolve_input(signal, sample_rate_hz)
+        segment_length = self._segment_length(samples, sample_rate_hz)
+        freqs, psd_v2 = welch_psd(samples, sample_rate_hz, segment_length)
+        psd_w = psd_v2 / self.impedance
+        psd_w = psd_w + self._noise_psd(freqs, rng)
+        return Spectrum(freqs, psd_w, self.rbw_hz)
 
+    def measure_band(
+        self,
+        signal: SynthesizedSignal | np.ndarray,
+        f_center_hz: float,
+        half_width_hz: float,
+        sample_rate_hz: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> Spectrum:
+        """Record only the sweep bins covering ``f_center +/- half_width``.
+
+        The returned :class:`Spectrum` holds exactly the bins a full
+        :meth:`measure` sweep sliced to that band would hold — same
+        frequencies, same per-bin signal PSD to ~1e-12 relative, and
+        *bit-identical* per-bin noise: the noise floor realization is
+        drawn over the full sweep grid (one ``chisquare`` call of the
+        same shape as the reference path, keeping ``rng`` streams in
+        lockstep) and then sliced, and interferer power is spread over
+        the full-grid bin counts.  Only the signal transform itself is
+        band-limited — which is where all the time goes.
+        """
+        samples, sample_rate_hz = self._resolve_input(signal, sample_rate_hz)
+        segment_length = self._segment_length(samples, sample_rate_hz)
+        k_lo, k_hi = band_bin_range(
+            segment_length, sample_rate_hz, f_center_hz, half_width_hz
+        )
+        freqs, psd_v2 = band_welch_psd(
+            samples, sample_rate_hz, segment_length, k_lo, k_hi
+        )
+        psd_w = psd_v2 / self.impedance
+        psd_w = psd_w + self._noise_psd_band(
+            segment_length, sample_rate_hz, k_lo, k_hi, rng
+        )
+        return Spectrum(freqs, psd_w, self.rbw_hz)
+
+    def _resolve_input(
+        self,
+        signal: SynthesizedSignal | np.ndarray,
+        sample_rate_hz: float | None,
+    ) -> tuple[np.ndarray, float]:
+        if isinstance(signal, SynthesizedSignal):
+            return signal.samples, signal.sample_rate_hz
+        samples = np.asarray(signal, dtype=np.float64)
+        if sample_rate_hz is None:
+            raise MeasurementError("sample_rate_hz is required for raw sample input")
+        return samples, sample_rate_hz
+
+    def _segment_length(self, samples: np.ndarray, sample_rate_hz: float) -> int:
         segment_length = int(round(sample_rate_hz / self.rbw_hz))
         num_samples = np.atleast_2d(samples).shape[-1]
         if segment_length > num_samples:
@@ -116,10 +170,7 @@ class SpectrumAnalyzer:
                 f"({segment_length / sample_rate_hz:.3f} s) but only "
                 f"{num_samples} were captured"
             )
-        freqs, psd_v2 = welch_psd(samples, sample_rate_hz, segment_length)
-        psd_w = psd_v2 / self.impedance
-        psd_w = psd_w + self._noise_psd(freqs, rng)
-        return Spectrum(freqs, psd_w, self.rbw_hz)
+        return segment_length
 
     def _noise_psd(self, freqs: np.ndarray, rng: np.random.Generator | None) -> np.ndarray:
         """Per-bin noise PSD contribution (W/Hz)."""
@@ -139,4 +190,53 @@ class SpectrumAnalyzer:
                 bins = int(mask.sum())
                 if bins:
                     noise[mask] += interferer.power_w / (bins * df)
+        return noise
+
+    def _noise_psd_band(
+        self,
+        segment_length: int,
+        sample_rate_hz: float,
+        k_lo: int,
+        k_hi: int,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Band slice of :meth:`_noise_psd`, bit-identical per bin.
+
+        The floor realization is drawn for the *full* sweep grid with
+        the exact call the reference path makes (same distribution,
+        same shape, so the generator state advances identically) and
+        sliced; interferer PSD contributions divide by their full-grid
+        bin counts, reconstructed arithmetically via the same boundary
+        comparisons the reference masks apply.
+        """
+        num_bins = k_hi - k_lo + 1
+        if self.environment is None:
+            return np.zeros(num_bins)
+        floor = self.environment.total_floor_w_per_hz
+        grid_size = segment_length // 2 + 1
+        if rng is not None:
+            noise = floor * rng.chisquare(2, size=(grid_size,)) / 2.0
+            noise = noise[k_lo : k_hi + 1].copy()
+        else:
+            noise = np.full(num_bins, floor)
+        if grid_size > 1:
+            bin_width = rfft_bin_width(segment_length, sample_rate_hz)
+            # The reference path's df comes from freqs[1] - freqs[0]
+            # with freqs[0] exactly 0.0, so it equals the bin width.
+            df = bin_width
+            top_bin = grid_size - 1
+            for interferer in self.environment.interferers:
+                low = interferer.frequency_hz - interferer.bandwidth_hz / 2.0
+                high = interferer.frequency_hz + interferer.bandwidth_hz / 2.0
+                bounds = _comparison_bin_range(low, high, bin_width, top_bin)
+                if bounds is None:
+                    continue
+                first, last = bounds
+                bins = last - first + 1
+                overlap_lo = max(first, k_lo)
+                overlap_hi = min(last, k_hi)
+                if overlap_lo <= overlap_hi:
+                    noise[overlap_lo - k_lo : overlap_hi - k_lo + 1] += (
+                        interferer.power_w / (bins * df)
+                    )
         return noise

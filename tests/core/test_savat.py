@@ -26,12 +26,33 @@ class TestMeasurementConfig:
             MeasurementConfig(method="guesswork")
 
     def test_with_method(self):
+        config = MeasurementConfig().with_method("full")
+        assert config.method == "full"
+
+    def test_synthesis_alias_normalizes_to_full(self):
         config = MeasurementConfig().with_method("synthesis")
-        assert config.method == "synthesis"
+        assert config.method == "full"
 
     def test_invalid_frequency_rejected(self):
         with pytest.raises(ConfigurationError):
             MeasurementConfig(alternation_frequency_hz=0.0)
+
+    def test_negative_duration_rejected_regardless_of_rbw(self):
+        # Regression: the old check compared duration (s) against RBW
+        # (Hz) and let a negative duration through whenever the RBW was
+        # numerically smaller.
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(duration_s=-1.0, rbw_hz=-2.0)
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(duration_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(duration_s=0.0)
+
+    def test_non_positive_rbw_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(rbw_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(rbw_hz=-1.0)
 
 
 @pytest.mark.slow

@@ -2,12 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.em.coupling import CouplingMatrix, band_power_from_modes, fourier_coefficient
 from repro.em.synthesis import (
     JitterModel,
+    measurement_time_grid,
     period_envelope,
     synthesize_measurement,
+    tile_period_indices,
 )
 from repro.errors import ConfigurationError, MeasurementError
 from repro.instruments.signal_processing import band_power, periodogram_psd
@@ -129,3 +132,105 @@ class TestSynthesizeMeasurement:
             _square_trace(), _unit_coupling(3), duration_s=0.005, rng=rng
         )
         assert signal.num_modes == 3
+
+    def test_precomputed_envelope_is_bit_identical(self):
+        """Passing the hoisted period envelope (the batched repetition
+        path) must not change a single output bit."""
+        trace = _square_trace()
+        coupling = _unit_coupling(2)
+        kwargs = dict(duration_s=0.01, rng=None, jitter=JitterModel(0.0, 0.0))
+        baseline = synthesize_measurement(trace, coupling, **kwargs)
+        hoisted = synthesize_measurement(
+            trace, coupling, envelope=period_envelope(trace, coupling), **kwargs
+        )
+        assert np.array_equal(baseline.samples, hoisted.samples)
+
+    def test_reuse_buffer_is_value_identical(self, rng):
+        """The shared-buffer gather returns the same sample values as a
+        fresh allocation (only the memory is recycled)."""
+        trace = _square_trace()
+        coupling = _unit_coupling(2)
+        fresh = synthesize_measurement(
+            trace, coupling, duration_s=0.01,
+            rng=np.random.default_rng(5),
+        )
+        reused = synthesize_measurement(
+            trace, coupling, duration_s=0.01,
+            rng=np.random.default_rng(5), reuse_buffer=True,
+        )
+        assert np.array_equal(fresh.samples, reused.samples)
+        # A second reuse call recycles the same backing memory.
+        again = synthesize_measurement(
+            trace, coupling, duration_s=0.01,
+            rng=np.random.default_rng(6), reuse_buffer=True,
+        )
+        assert again.samples is not fresh.samples
+        assert reused.samples is again.samples
+
+
+class TestTimeGrid:
+    def test_values_match_inline_expression(self):
+        grid = measurement_time_grid(1000, 2.56e6)
+        assert np.array_equal(grid, np.arange(1000) / 2.56e6)
+
+    def test_cached_and_read_only(self):
+        first = measurement_time_grid(512, 1e6)
+        assert measurement_time_grid(512, 1e6) is first
+        with pytest.raises(ValueError):
+            first[0] = 1.0
+
+
+def _reference_tile_indices(starts, durations, times, points_per_period):
+    """The pre-vectorization formulation, kept as the executable spec."""
+    num_periods = len(durations)
+    period_index = np.clip(
+        np.searchsorted(starts, times, "right") - 1, 0, num_periods - 1
+    )
+    phase = (times - starts[period_index]) / durations[period_index]
+    return np.clip(
+        (phase * points_per_period).astype(np.int64), 0, points_per_period - 1
+    )
+
+
+class TestTilePeriodIndices:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_periods=st.integers(1, 50),
+        num_samples=st.integers(1, 2000),
+        points_per_period=st.integers(1, 128),
+        period_sigma=st.floats(0.0, 0.4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference_formulation(
+        self, seed, num_periods, num_samples, points_per_period, period_sigma
+    ):
+        """Property: the repeat-expanded search is bit-identical to the
+        reference gather over jittered period boundaries."""
+        rng = np.random.default_rng(seed)
+        nominal = 1.25e-5
+        durations = nominal * np.clip(
+            1.0 + rng.normal(0.0, period_sigma, num_periods), 0.5, 1.5
+        )
+        starts = np.concatenate(([0.0], np.cumsum(durations)))
+        # Sample only within the covered interval, as synthesis does.
+        times = np.sort(rng.uniform(0.0, starts[-1] * 0.999, num_samples))
+        fast = tile_period_indices(starts, durations, times, points_per_period)
+        reference = _reference_tile_indices(
+            starts, durations, times, points_per_period
+        )
+        assert np.array_equal(fast, reference)
+
+    def test_uniform_measurement_grid(self):
+        """The synthesis geometry itself (regular grid, cumsum starts)
+        matches the reference gather, boundary rounding included."""
+        duration = 1.0 / 80e3
+        durations = np.full(10, duration)
+        starts = np.concatenate(([0.0], np.cumsum(durations)))
+        times = measurement_time_grid(320, 32 * 80e3)
+        indices = tile_period_indices(starts, durations, times, 64)
+        reference = _reference_tile_indices(starts, durations, times, 64)
+        assert np.array_equal(indices, reference)
+        # Each 32-sample period walks the 64-point envelope start to end.
+        assert indices[0] == 0
+        assert np.all(np.diff(indices[:32]) >= 1)
+        assert indices[31] >= 60

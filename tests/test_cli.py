@@ -10,6 +10,7 @@ from repro.cli import (
     _campaign_execution_kwargs,
     _campaign_summary_lines,
     _event_list,
+    _measurement_config,
     build_parser,
     main,
 )
@@ -191,6 +192,67 @@ class TestParser:
     def test_audit_memory_assumption(self):
         args = build_parser().parse_args(["audit", "x.s", "--assume-memory", "L2"])
         assert args.assume_memory == "L2"
+
+
+class TestMeasurementFlags:
+    def test_campaign_method_and_duration_defaults(self, monkeypatch):
+        monkeypatch.delenv("SAVAT_METHOD", raising=False)
+        monkeypatch.delenv("SAVAT_DURATION_S", raising=False)
+        args = build_parser().parse_args(["campaign"])
+        config = _measurement_config(args)
+        assert config.method == "analytic"
+        assert config.duration_s == pytest.approx(1.0)
+
+    def test_campaign_method_and_duration_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--method", "full", "--duration-s", "0.25"]
+        )
+        config = _measurement_config(args)
+        assert config.method == "full"
+        assert config.duration_s == pytest.approx(0.25)
+
+    def test_groups_accepts_measurement_flags(self):
+        args = build_parser().parse_args(["groups", "--method", "full"])
+        assert _measurement_config(args).method == "full"
+
+    def test_synthesis_alias_normalizes(self):
+        args = build_parser().parse_args(["campaign", "--method", "synthesis"])
+        assert _measurement_config(args).method == "full"
+
+    def test_environment_defaults(self, monkeypatch):
+        monkeypatch.setenv("SAVAT_METHOD", "full")
+        monkeypatch.setenv("SAVAT_DURATION_S", "0.5")
+        args = build_parser().parse_args(["campaign"])
+        config = _measurement_config(args)
+        assert config.method == "full"
+        assert config.duration_s == pytest.approx(0.5)
+
+    def test_unknown_method_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--method", "guesswork"])
+
+    def test_invalid_duration_environment_fails_cleanly(self, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("SAVAT_DURATION_S", "soon")
+        args = build_parser().parse_args(["campaign"])
+        with pytest.raises(ConfigurationError):
+            _measurement_config(args)
+
+    def test_method_and_duration_change_the_cache_key(self):
+        from repro.core.executor import campaign_cache_key
+        from repro.core.savat import MeasurementConfig
+
+        keys = {
+            campaign_cache_key("core2duo", 0.1, config, ["ADD", "SUB"], 3, 0)
+            for config in (
+                MeasurementConfig(),
+                MeasurementConfig(method="full"),
+                MeasurementConfig(method="full", duration_s=0.5),
+                MeasurementConfig(duration_s=0.5),
+            )
+        }
+        assert len(keys) == 4
 
 
 @pytest.mark.slow
