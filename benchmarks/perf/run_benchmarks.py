@@ -14,7 +14,11 @@ to end, on the fast and the scalar reference implementations:
   synthesis + spectrum sweep + band integration at the paper's 1 s /
   1 Hz RBW geometry) on the band-limited analyzer versus the
   full-spectrum reference analyzer, including their per-sample
-  agreement.
+  agreement;
+* **study** — a cold 2-distance ``run_study`` (shared kernel-trace
+  cache) versus a cold single campaign with the trace cache off; the
+  shared cache must keep the whole study under 2x the single-campaign
+  cost, because the second distance reuses every trace.
 
 Results are written to ``BENCH_simulation.json``.  With ``--campaign``
 the cold, cache-disabled, serial Figure 9-sized campaign (11x11 events,
@@ -22,9 +26,9 @@ the cold, cache-disabled, serial Figure 9-sized campaign (11x11 events,
 baseline measured on the same container, then re-run with every
 observability output enabled (JSONL trace, Prometheus metrics file,
 progress line) to measure the instrumentation overhead against its
-<5% budget.  With ``--check`` the cold single-cell, priming-only, and
-full-cell latencies are compared against a checked-in baseline and the
-process exits non-zero on a >1.5x regression.
+<5% budget.  With ``--check`` the cold single-cell, priming-only,
+full-cell, and study latencies are compared against a checked-in
+baseline and the process exits non-zero on a >1.5x regression.
 
 Usage (from the repository root):
 
@@ -209,6 +213,72 @@ def bench_full_cell(machine, pair: tuple[str, str], repeats: int) -> dict:
     }
 
 
+#: Event subset and distances for the study benchmark — big enough for
+#: the trace-production cost to dominate, small enough to run on every
+#: benchmark invocation (unlike the full 11x11 --campaign stage).
+STUDY_EVENTS = ("ADD", "SUB", "LDM", "STM")
+STUDY_DISTANCES = (0.10, 0.50)
+STUDY_RATIO_BUDGET = 2.0
+
+
+def bench_study(machine, repeats: int) -> dict:
+    """Cold 2-distance study (shared trace cache) vs cold single campaign.
+
+    The acceptance bar of the trace cache: a study over two distances
+    must cost **less than 2x** one cold campaign, because only the
+    first distance pays for ``prime``/``core_run`` — the second reuses
+    every trace and runs just the per-distance measurement stage.
+    """
+    from repro.core.campaign import run_campaign
+    from repro.core.study import run_study
+
+    def single():
+        clear_cpi_cache()
+        run_campaign(
+            machine,
+            events=STUDY_EVENTS,
+            repetitions=2,
+            seed=2014,
+            trace_cache=False,
+        )
+
+    single_s = _timed(single, repeats)
+
+    study_s = float("inf")
+    study = None
+    for _ in range(repeats):
+        clear_cpi_cache()
+        started = time.perf_counter()
+        candidate = run_study(
+            ["core2duo"],
+            list(STUDY_DISTANCES),
+            events=STUDY_EVENTS,
+            repetitions=2,
+            seed=2014,
+        )
+        elapsed = time.perf_counter() - started
+        if elapsed < study_s:
+            study_s, study = elapsed, candidate
+
+    cells = len(STUDY_EVENTS) ** 2
+    second = study.matrices[1].metadata["execution"]["trace_cache"]
+    ratio = study_s / single_s
+    return {
+        "2-distance": {
+            "fast_s": study_s,
+            "single_campaign_s": single_s,
+            "ratio": ratio,
+            "ratio_budget": STUDY_RATIO_BUDGET,
+            "ratio_ok": bool(ratio < STUDY_RATIO_BUDGET),
+            "trace_cache_totals": dict(study.trace_cache),
+            "second_distance_all_hits": bool(
+                second["misses"] == 0
+                and second["memory_hits"] + second["disk_hits"] == cells
+            ),
+        }
+    }
+
+
 def bench_campaign(machine) -> dict:
     """Cold, cache-disabled, serial Figure 9-sized campaign (fast path)."""
     clear_cpi_cache()
@@ -245,28 +315,54 @@ def _bench_campaign_observability(machine, plain_samples, plain_elapsed) -> dict
     default, so the delta measured here is the cost of the optional
     outputs: the JSONL trace (one span pair per cell), the Prometheus
     metrics file, and the forced-on progress line (into a StringIO, so
-    rendering cost is included but no terminal is needed).
+    rendering cost is included but no terminal is needed).  The
+    overhead is a best-of-two on both variants (one extra plain run,
+    two instrumented runs): campaign-sized wall times on a shared
+    container jitter by up to ~10% run to run, which is larger than
+    the effect being measured, and best-of pairs under the same load
+    recover the true delta.
     """
-    clear_cpi_cache()
-    with tempfile.TemporaryDirectory() as tmp:
-        observability = CampaignObservability(
-            trace=pathlib.Path(tmp) / "trace.jsonl",
-            metrics_out=pathlib.Path(tmp) / "metrics.prom",
-            progress=True,
-            progress_stream=io.StringIO(),
-        )
+
+    def instrumented_run() -> tuple[float, "np.ndarray"]:
+        clear_cpi_cache()
+        with tempfile.TemporaryDirectory() as tmp:
+            observability = CampaignObservability(
+                trace=pathlib.Path(tmp) / "trace.jsonl",
+                metrics_out=pathlib.Path(tmp) / "metrics.prom",
+                progress=True,
+                progress_stream=io.StringIO(),
+            )
+            with use_fast_path():
+                started = time.perf_counter()
+                samples, _stats = execute_campaign(
+                    machine,
+                    list(PAPER_EVENTS),
+                    repetitions=2,
+                    seed=2014,
+                    workers=1,
+                    cache=None,
+                    observability=observability,
+                )
+                return time.perf_counter() - started, samples
+
+    def plain_run() -> float:
+        clear_cpi_cache()
         with use_fast_path():
             started = time.perf_counter()
-            samples, _stats = execute_campaign(
+            execute_campaign(
                 machine,
                 list(PAPER_EVENTS),
                 repetitions=2,
                 seed=2014,
                 workers=1,
                 cache=None,
-                observability=observability,
             )
-            elapsed = time.perf_counter() - started
+            return time.perf_counter() - started
+
+    elapsed, samples = instrumented_run()
+    second_elapsed, _ = instrumented_run()
+    elapsed = min(elapsed, second_elapsed)
+    plain_elapsed = min(plain_elapsed, plain_run())
     overhead = elapsed / plain_elapsed - 1.0
     return {
         "instrumented_s": elapsed,
@@ -326,6 +422,17 @@ def run(args) -> int:
         f"{'ok' if numbers['agreement_ok'] else 'OVER BUDGET'}"
     )
 
+    print("cold 2-distance study vs cold single campaign (trace cache)...")
+    results["study"] = bench_study(machine, args.repeats)
+    numbers = results["study"]["2-distance"]
+    print(
+        f"  study {numbers['fast_s']:.3f}s vs single campaign "
+        f"{numbers['single_campaign_s']:.3f}s "
+        f"(ratio {numbers['ratio']:.2f}, budget {numbers['ratio_budget']:.1f}) "
+        f"-> {'ok' if numbers['ratio_ok'] else 'OVER BUDGET'}; "
+        f"second distance all hits: {numbers['second_distance_all_hits']}"
+    )
+
     if args.campaign:
         print("cold serial 11x11 campaign (this takes a while on the fast path,")
         print(f"and took {PRE_PR_CAMPAIGN_SECONDS:.1f}s before the fast path)...")
@@ -357,7 +464,7 @@ def run(args) -> int:
                 pair: {"fast_s": numbers["fast_s"]}
                 for pair, numbers in results[stage].items()
             }
-            for stage in ("cold_cell", "priming", "full_cell")
+            for stage in ("cold_cell", "priming", "full_cell", "study")
         }
         DEFAULT_BASELINE.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n"
@@ -367,7 +474,7 @@ def run(args) -> int:
     if args.check is not None:
         baseline = json.loads(pathlib.Path(args.check).read_text())
         failed = False
-        for stage in ("cold_cell", "priming", "full_cell"):
+        for stage in ("cold_cell", "priming", "full_cell", "study"):
             for pair, numbers in baseline.get(stage, {}).items():
                 allowed = numbers["fast_s"] * REGRESSION_FACTOR
                 measured = results[stage][pair]["fast_s"]

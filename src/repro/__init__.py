@@ -24,6 +24,7 @@ regeneration harness.
 
 from repro.core.campaign import run_campaign, selected_pairings_means
 from repro.core.clustering import find_groups
+from repro.core.study import StudyResult, run_study
 from repro.core.matrix import SavatMatrix
 from repro.core.savat import MeasurementConfig, SavatResult, measure_savat
 from repro.core.single_instruction import (
@@ -59,6 +60,7 @@ __all__ = [
     "SavatMatrix",
     "SavatResult",
     "SimulationError",
+    "StudyResult",
     "__version__",
     "find_groups",
     "get_event",
@@ -68,6 +70,7 @@ __all__ = [
     "measure_savat",
     "most_leaky_instructions",
     "run_campaign",
+    "run_study",
     "selected_pairings_means",
     "single_instruction_savat",
 ]

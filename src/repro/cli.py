@@ -7,6 +7,9 @@ Subcommands cover the workflows a downstream user runs most:
   or JSON output; add ``--trace run.jsonl --metrics-out run.prom`` for
   a JSONL run trace and a Prometheus metrics export, and
   ``--progress``/``--no-progress`` to control the live status line;
+* ``savat study --machines core2duo --distances 0.10,0.25,0.50`` — a
+  grid of campaigns over one shared worker pool and kernel-trace cache,
+  so later distances skip trace production entirely;
 * ``savat groups`` — cluster the events by SAVAT distance;
 * ``savat audit victim.s`` — static leak audit of an assembly file;
 * ``savat attack --key 10110100`` — the RSA-style attack demo.
@@ -50,6 +53,70 @@ def _event_list(text: str) -> list[str]:
             f"no event names given; choose from {choices}"
         )
     return events
+
+
+def _distance(text: str) -> float:
+    """Parse a distance argument into a validated positive, finite float.
+
+    Mirrors the :func:`~repro.machines.calibrated.load_calibrated_machine`
+    validation so a bad ``--distance`` fails argument parsing with a
+    one-line message instead of surfacing later from the loader.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid distance {text!r}; expected meters, e.g. 0.25"
+        )
+    import math
+
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"distance must be a positive, finite number of meters; got {text!r}"
+        )
+    return value
+
+
+def _distance_list(text: str) -> list[float]:
+    """Parse a ``--distances`` value into validated distances in meters.
+
+    Same comma-list conventions as :func:`_event_list`: whitespace is
+    stripped, empty tokens are dropped, and an empty list is an error.
+    """
+    distances = [
+        _distance(token)
+        for token in (token.strip() for token in text.split(","))
+        if token
+    ]
+    if not distances:
+        raise argparse.ArgumentTypeError(
+            "no distances given; expected meters, e.g. 0.10,0.25,0.50"
+        )
+    return distances
+
+
+def _machine_list(text: str) -> list[str]:
+    """Parse a ``--machines`` value into validated catalog machine names."""
+    from repro.machines.catalog import MACHINES
+
+    known = {name.lower(): name for name in MACHINES}
+    choices = ", ".join(sorted(MACHINES))
+    machines: list[str] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        resolved = known.get(token.lower())
+        if resolved is None:
+            raise argparse.ArgumentTypeError(
+                f"unknown machine {token!r}; choose from {choices}"
+            )
+        machines.append(resolved)
+    if not machines:
+        raise argparse.ArgumentTypeError(
+            f"no machine names given; choose from {choices}"
+        )
+    return machines
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -211,10 +278,11 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--distance",
-        type=float,
+        type=_distance,
         default=0.10,
         metavar="METERS",
-        help="antenna distance in meters (default: 0.10)",
+        help="antenna distance in meters, positive and finite "
+        "(default: 0.10)",
     )
 
 
@@ -308,6 +376,66 @@ def _command_campaign(args: argparse.Namespace) -> int:
     else:
         for line in _campaign_summary_lines(campaign, machine):
             print(line)
+    return 0
+
+
+def _command_study(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.study import run_study
+
+    result = run_study(
+        args.machines,
+        args.distances,
+        events=args.events,
+        config=_measurement_config(args),
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        trace_cache=False if args.no_trace_cache else None,
+        trace_cache_dir=args.trace_cache_dir,
+        max_retries=args.max_retries,
+        cell_timeout_s=args.cell_timeout,
+        output_dir=args.output_dir,
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "wall_seconds": result.wall_seconds,
+                    "trace_cache": result.trace_cache,
+                    "campaigns": [
+                        json.loads(matrix.to_json()) for matrix in result.matrices
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"study: {len(args.machines)} machine(s) x "
+        f"{len(args.distances)} distance(s), "
+        f"{len(result.matrices)} campaign(s) in {result.wall_seconds:.1f} s"
+    )
+    for matrix in result.matrices:
+        execution = matrix.metadata["execution"]
+        trace_cache = execution.get("trace_cache") or {}
+        hits = trace_cache.get("memory_hits", 0) + trace_cache.get("disk_hits", 0)
+        print(
+            f"  {matrix.machine} @ {matrix.distance_m * 100:.0f} cm: "
+            f"{execution['wall_seconds']:.1f} s, "
+            f"trace cache {hits} hit(s) / "
+            f"{trace_cache.get('misses', 0)} miss(es)"
+        )
+    totals = result.trace_cache
+    print(
+        f"trace cache totals: {totals['memory_hits']} memory hit(s), "
+        f"{totals['disk_hits']} disk hit(s), {totals['misses']} miss(es), "
+        f"{totals['quarantined']} quarantined"
+    )
+    if args.output_dir:
+        print(f"per-campaign traces, metrics, and matrices in {args.output_dir}")
     return 0
 
 
@@ -434,6 +562,97 @@ def build_parser() -> argparse.ArgumentParser:
     _add_measurement_arguments(campaign)
     _add_execution_arguments(campaign)
     campaign.set_defaults(handler=_command_campaign)
+
+    study = subparsers.add_parser(
+        "study",
+        help="run a machines x distances grid of campaigns over one "
+        "shared worker pool and kernel-trace cache",
+    )
+    study.add_argument(
+        "--machines",
+        type=_machine_list,
+        default=["core2duo"],
+        metavar="M,N,...",
+        help="comma-separated catalog machines (default: core2duo)",
+    )
+    study.add_argument(
+        "--distances",
+        type=_distance_list,
+        default=[0.10, 0.50],
+        metavar="D,E,...",
+        help="comma-separated antenna distances in meters, each positive "
+        "and finite (default: 0.10,0.50)",
+    )
+    study.add_argument(
+        "--events",
+        type=_event_list,
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated event subset (validated against the catalog; "
+        "default: all eleven events)",
+    )
+    study.add_argument("--repetitions", type=int, default=3)
+    study.add_argument("--seed", type=int, default=0)
+    study.add_argument("--format", choices=("table", "json"), default="table")
+    _add_measurement_arguments(study)
+    study.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for the shared pool serving every campaign "
+        "(0 or 1: serial; results are bit-identical either way)",
+    )
+    study.add_argument(
+        "--cache-dir",
+        default=os.environ.get("SAVAT_CACHE_DIR"),
+        metavar="DIR",
+        help="on-disk result cache shared by all campaigns "
+        "(default: $SAVAT_CACHE_DIR, no caching if unset)",
+    )
+    study.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if --cache-dir or "
+        "$SAVAT_CACHE_DIR is set",
+    )
+    study.add_argument(
+        "--trace-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="disk tier for the shared kernel-trace cache (default: "
+        "$SAVAT_TRACE_CACHE_DIR, then <cache-dir>/traces, then a "
+        "temporary directory)",
+    )
+    study.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable the kernel-trace cache (every campaign recomputes "
+        "its traces; useful for benchmarking the cache's win)",
+    )
+    study.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-cell retry budget for transient worker faults "
+        "(default: 2)",
+    )
+    study.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell attempt (default: no budget)",
+    )
+    study.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="DIR",
+        help="write each campaign's JSONL trace, Prometheus metrics, and "
+        "matrix JSON under DIR (inputs for python -m repro.obs.check)",
+    )
+    study.set_defaults(handler=_command_study)
 
     groups = subparsers.add_parser("groups", help="cluster events by SAVAT")
     _add_machine_arguments(groups)

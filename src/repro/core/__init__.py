@@ -5,6 +5,7 @@ from repro.core.executor import (
     CampaignJournal,
     CampaignStats,
     ResultCache,
+    WorkerPool,
     campaign_cache_key,
     execute_campaign,
     spawn_cell_seeds,
@@ -42,6 +43,13 @@ from repro.core.savat import (
     prime_alternation_steady_state,
     simulate_alternation_period,
 )
+from repro.core.study import StudyResult, run_study
+from repro.core.trace_cache import (
+    TraceCache,
+    get_process_trace_cache,
+    produce_cell_trace,
+    trace_cache_key,
+)
 from repro.core.sequences import (
     SequenceSavatResult,
     estimate_sequence_savat,
@@ -73,11 +81,15 @@ __all__ = [
     "SavatMatrix",
     "SavatResult",
     "SequenceSavatResult",
+    "StudyResult",
+    "TraceCache",
+    "WorkerPool",
     "clear_cpi_cache",
     "cluster_linkage",
     "compare_methodologies",
     "estimate_sequence_savat",
     "find_groups",
+    "get_process_trace_cache",
     "group_representatives",
     "measure_savat",
     "measure_savat_samples",
@@ -85,9 +97,12 @@ __all__ = [
     "most_leaky_instructions",
     "naive_measurement",
     "prime_alternation_steady_state",
+    "produce_cell_trace",
     "recommend_frequency",
     "survey_band_noise",
     "run_campaign",
+    "run_study",
+    "trace_cache_key",
     "savat_distance_matrix",
     "selected_pairings_means",
     "similarity_graph",

@@ -25,9 +25,11 @@ from repro.core.executor import (
     DEFAULT_MAX_RETRIES,
     ProgressCallback,
     ResultCache,
+    WorkerPool,
     execute_campaign,
 )
 from repro.core.faults import FaultPlan
+from repro.core.trace_cache import TraceCache
 from repro.core.matrix import SavatMatrix
 from repro.core.savat import MeasurementConfig
 from repro.isa.events import EVENT_ORDER, InstructionEvent, get_event
@@ -54,6 +56,8 @@ def run_campaign(
     resume: bool | str | os.PathLike = False,
     fault_plan: FaultPlan | None = None,
     observability: CampaignObservability | None = None,
+    trace_cache: TraceCache | bool | None = None,
+    pool: WorkerPool | None = None,
 ) -> SavatMatrix:
     """Measure the full pairwise SAVAT matrix.
 
@@ -124,6 +128,15 @@ def run_campaign(
         JSONL run trace, a live progress line, and a Prometheus metrics
         export, all fed by the same registry that generates the
         matrix's ``metadata["execution"]`` entry.
+    trace_cache:
+        Kernel-trace cache serving the prime/core_run trace-production
+        stage (``None``: the process-wide cache configured by
+        ``SAVAT_TRACE_CACHE[_DIR]``; ``False``: disabled).  Samples are
+        bit-identical with the cache on or off.
+    pool:
+        Persistent :class:`~repro.core.executor.WorkerPool` to run the
+        campaign over (a study shares one pool across its campaigns so
+        worker trace LRUs stay warm); overrides ``workers``.
 
     Returns
     -------
@@ -160,6 +173,8 @@ def run_campaign(
         resume=bool(resume),
         fault_plan=fault_plan,
         observability=observability,
+        trace_cache=trace_cache,
+        pool=pool,
     )
 
     return SavatMatrix(

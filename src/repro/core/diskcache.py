@@ -1,0 +1,80 @@
+"""Shared on-disk cache discipline: atomic writes and quarantine moves.
+
+Both persistent caches in the executor stack — the per-cell campaign
+:class:`~repro.core.executor.ResultCache` and the cross-campaign
+:class:`~repro.core.trace_cache.TraceCache` — follow the same two rules:
+
+* **Writes are atomic.**  Every payload goes to a same-directory
+  temporary file, is flushed and fsynced, and only then renamed over the
+  target with :func:`os.replace`.  A process killed mid-write can leave
+  an orphaned ``*.tmp`` file but never a truncated file under a live
+  name, so concurrent workers may share a cache directory without
+  locking.
+* **Bad entries are quarantined, never deleted.**  An unreadable,
+  truncated, or wrong-shaped entry is moved into a ``quarantine/``
+  directory — keeping its identifying key as a filename prefix, and
+  never overwriting an earlier quarantined file of the same name — so
+  repeated corruption stays individually inspectable post mortem while
+  the caller simply recomputes the entry.
+
+This module is the single implementation of both rules.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections.abc import Callable
+from pathlib import Path
+
+
+def atomic_write(directory: Path, target: Path, writer: Callable) -> None:
+    """Write ``target`` via a same-directory temp file and ``os.replace``.
+
+    ``writer`` receives the open binary handle.  The handle is flushed
+    and fsynced before the rename, so a process killed mid-write can
+    never leave a truncated file under the target name — the worst case
+    is an orphaned ``*.tmp`` file.
+    """
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=directory, prefix=target.stem + "_", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def quarantine_entry(quarantine_dir: Path, key: str, path: Path) -> Path | None:
+    """Move a bad cache entry into ``quarantine_dir``.
+
+    The entry keeps ``key`` as a filename prefix, and an existing
+    quarantined file of the same name is never overwritten (a numeric
+    suffix is appended instead), so repeated corruption of the same
+    entry stays individually inspectable.  Returns the quarantined
+    path, or ``None`` when the entry vanished before the move (another
+    process already quarantined it).
+    """
+    quarantine_dir.mkdir(parents=True, exist_ok=True)
+    base = f"{key}_{path.name}"
+    target = quarantine_dir / base
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = quarantine_dir / f"{base}.{suffix}"
+    try:
+        os.replace(path, target)
+    except FileNotFoundError:
+        return None
+    return target
+
+
+__all__ = ["atomic_write", "quarantine_entry"]

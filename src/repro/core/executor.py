@@ -55,6 +55,21 @@ hit/miss counters, per-cell timings, and the fault-tolerance counters
 are reported through :class:`CampaignStats` and the returned matrix
 metadata.
 
+Below the per-campaign result cache sits the **cross-campaign trace
+cache** (:mod:`repro.core.trace_cache`): the expensive ``prime`` +
+``core_run`` trace production inside :func:`simulate_cell` is keyed by
+(machine spec, ordered pair, frequency plan) — not by distance, seed,
+repetitions, or method — so campaigns that share kernels (a distance
+study, a re-seeded rerun, a ``--method full`` re-analysis) skip the
+simulation and only redo the cheap measurement stage.  Pool workers
+receive the cache's *spec* (its disk path and LRU bound, never trace
+payloads) and keep a warm per-process LRU; with a
+:class:`WorkerPool` shared across campaigns the LRU survives from one
+campaign to the next, which is what :func:`repro.core.study.run_study`
+builds on.  Per-cell counter deltas travel back in the span fragments
+and surface as ``savat_trace_cache_*`` metrics and the
+``execution["trace_cache"]`` metadata.
+
 All instrumentation flows through :mod:`repro.obs`: the counters live
 in a :class:`~repro.obs.metrics.MetricsRegistry` (``CampaignStats`` is
 a typed view over it), every cache/journal/fault/timeout event and
@@ -71,7 +86,6 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import time
 from collections import deque
 from collections.abc import Callable, Sequence
@@ -83,13 +97,19 @@ from pathlib import Path
 import numpy as np
 
 from repro.codegen.frequency import FrequencyPlan
+from repro.core.diskcache import atomic_write as _atomic_write
+from repro.core.diskcache import quarantine_entry
 from repro.core.faults import CORRUPT_PAYLOAD, CellFault, FaultPlan
 from repro.core.savat import (
     MeasurementConfig,
     _plan_pair,
     measure_savat_samples,
     record_phase_seconds,
-    simulate_alternation_period,
+)
+from repro.core.trace_cache import (
+    TraceCache,
+    get_process_trace_cache,
+    produce_cell_trace,
 )
 from repro.errors import CellExecutionError, ConfigurationError, JournalError
 from repro.isa.events import InstructionEvent
@@ -175,6 +195,11 @@ class CampaignStats:
     resumed:
         Cells restored from the campaign journal instead of being
         simulated or loaded from the cache.
+    trace_cache:
+        Kernel-trace cache traffic this campaign caused —
+        ``memory_hits`` / ``disk_hits`` / ``misses`` / ``stores`` /
+        ``quarantined`` (see :mod:`repro.core.trace_cache`); all zero
+        when the trace cache is disabled.
     faults_injected:
         Faults fired by an injected :class:`~repro.core.faults.FaultPlan`,
         keyed by kind; empty for production runs.
@@ -214,6 +239,29 @@ class CampaignStats:
         self._quarantined = r.counter(
             "savat_cache_quarantined_total",
             "Corrupt cache entries moved to quarantine this execution.",
+        )
+        self._trace_hits = r.counter(
+            "savat_trace_cache_hits_total",
+            "Kernel traces served from the cross-campaign trace cache, "
+            "by tier.",
+            labelnames=("tier",),
+        )
+        # Materialize both tiers up front so the Prometheus export (and
+        # repro.obs.check's exact comparison) sees 0 samples even for a
+        # campaign that never hit a given tier.
+        self._trace_hits.labels(tier="memory")
+        self._trace_hits.labels(tier="disk")
+        self._trace_misses = r.counter(
+            "savat_trace_cache_misses_total",
+            "Kernel traces the trace cache could not serve.",
+        )
+        self._trace_stores = r.counter(
+            "savat_trace_cache_stores_total",
+            "Kernel traces newly stored into the trace cache.",
+        )
+        self._trace_quarantined = r.counter(
+            "savat_trace_cache_quarantined_total",
+            "Corrupt trace-cache entries moved to quarantine.",
         )
         self._resumed = r.counter(
             "savat_cells_resumed_total",
@@ -299,6 +347,17 @@ class CampaignStats:
         return int(self._resumed.value())
 
     @property
+    def trace_cache(self) -> dict[str, int]:
+        """Trace-cache traffic this campaign caused, by counter name."""
+        return {
+            "memory_hits": int(self._trace_hits.labels(tier="memory").get()),
+            "disk_hits": int(self._trace_hits.labels(tier="disk").get()),
+            "misses": int(self._trace_misses.value()),
+            "stores": int(self._trace_stores.value()),
+            "quarantined": int(self._trace_quarantined.value()),
+        }
+
+    @property
     def workers(self) -> int:
         """Worker processes the fan-out used (1 means serial)."""
         return int(self._workers.value())
@@ -363,6 +422,24 @@ class CampaignStats:
         """Count cache entries moved to quarantine."""
         self._quarantined.inc(count)
 
+    def record_trace_cache(self, delta: dict[str, int]) -> None:
+        """Merge one cell's trace-cache counter delta.
+
+        ``delta`` is a :meth:`repro.core.trace_cache.TraceCache.counters`
+        difference — taken around the cell either in-process (serial) or
+        inside the worker and shipped back in the span fragment.
+        """
+        if delta.get("memory_hits"):
+            self._trace_hits.labels(tier="memory").inc(delta["memory_hits"])
+        if delta.get("disk_hits"):
+            self._trace_hits.labels(tier="disk").inc(delta["disk_hits"])
+        if delta.get("misses"):
+            self._trace_misses.inc(delta["misses"])
+        if delta.get("stores"):
+            self._trace_stores.inc(delta["stores"])
+        if delta.get("quarantined"):
+            self._trace_quarantined.inc(delta["quarantined"])
+
     def record_resumed(self) -> None:
         """Count one cell restored from the journal."""
         self._resumed.inc()
@@ -410,6 +487,7 @@ class CampaignStats:
             "timeouts": self.timeouts,
             "quarantined": self.quarantined,
             "resumed": self.resumed,
+            "trace_cache": dict(self.trace_cache),
             "faults_injected": dict(self.faults_injected),
             "cell_seconds": dict(self.cell_seconds),
             "cell_phase_seconds": {
@@ -457,31 +535,6 @@ def campaign_cache_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
-def _atomic_write(directory: Path, target: Path, writer: Callable) -> None:
-    """Write ``target`` via a same-directory temp file and ``os.replace``.
-
-    ``writer`` receives the open binary/text handle.  The handle is
-    flushed and fsynced before the rename, so a worker killed mid-write
-    can never leave a truncated file under the target name — the worst
-    case is an orphaned ``*.tmp`` file.
-    """
-    descriptor, temp_name = tempfile.mkstemp(
-        dir=directory, prefix=target.stem + "_", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(descriptor, "wb") as handle:
-            writer(handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp_name, target)
-    except BaseException:
-        try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
-        raise
-
-
 class ResultCache:
     """Per-cell campaign results persisted under a cache directory.
 
@@ -513,6 +566,19 @@ class ResultCache:
         self.quarantine_count = 0
         self.quarantined_paths: list[Path] = []
 
+    def begin_execution(self) -> None:
+        """Zero the per-execution counters (cached entries are kept).
+
+        :func:`execute_campaign` calls this on entry, so a cache object
+        shared across the campaigns of a study reports each campaign's
+        own hits/misses/quarantines instead of double-counting the
+        previous campaigns' traffic into the next campaign's metadata.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.quarantine_count = 0
+        self.quarantined_paths = []
+
     def campaign_dir(self, key: str) -> Path:
         """Directory holding one campaign's cells."""
         return self.cache_dir / key
@@ -533,17 +599,8 @@ class ResultCache:
         (a numeric suffix is appended instead), so repeated corruption
         of the same cell stays individually inspectable.
         """
-        quarantine_dir = self.quarantine_dir()
-        quarantine_dir.mkdir(parents=True, exist_ok=True)
-        base = f"{key}_{path.name}"
-        target = quarantine_dir / base
-        suffix = 0
-        while target.exists():
-            suffix += 1
-            target = quarantine_dir / f"{base}.{suffix}"
-        try:
-            os.replace(path, target)
-        except FileNotFoundError:
+        target = quarantine_entry(self.quarantine_dir(), key, path)
+        if target is None:
             return None
         self.quarantine_count += 1
         self.quarantined_paths.append(target)
@@ -761,12 +818,23 @@ def simulate_cell(
     seed_sequence: np.random.SeedSequence,
     plan: FrequencyPlan | None = None,
     phase_seconds: dict[str, float] | None = None,
+    trace_cache: TraceCache | None = None,
 ) -> np.ndarray:
     """Simulate one (A, B) cell: plan, trace, and all repetitions.
 
     As in the paper's multi-day repeats, the deterministic kernel
     simulation is shared across repetitions and only the environment
     noise is re-drawn — from this cell's private seed-schedule stream.
+
+    The cell splits into two stages.  **Trace production** (the
+    ``prime`` + ``core_run`` phases) is a pure function of the machine
+    spec, the pair, and the plan, and routes through
+    :func:`repro.core.trace_cache.produce_cell_trace`: with a
+    ``trace_cache``, a repeat of the same kernel skips both phases and
+    serves the identical trace from the cache.  **Measurement** (the
+    ``synthesize`` / ``analyze`` phases) depends on distance, seed,
+    repetitions, and method, and always runs — which is why samples are
+    bit-identical with the cache on or off.
 
     ``plan`` lets the campaign executor pre-compute the frequency plan
     in the parent process (amortizing the per-event CPI probe runs over
@@ -775,14 +843,18 @@ def simulate_cell(
     results are identical either way.
 
     ``phase_seconds`` (when given) accumulates the cell's pipeline
-    breakdown — prime / core_run / synthesize / analyze seconds.
+    breakdown — prime / core_run / synthesize / analyze seconds.  On a
+    trace-cache hit the prime/core_run phases never run, so they are
+    simply absent.
     """
     rng = np.random.default_rng(seed_sequence)
     if plan is None:
         plan = _plan_pair(machine, event_a, event_b, config.alternation_frequency_hz)
     sink = phase_seconds if phase_seconds is not None else {}
     with record_phase_seconds(sink):
-        trace, plan = simulate_alternation_period(machine, plan)
+        trace, plan = produce_cell_trace(
+            machine, event_a, event_b, plan, cache=trace_cache
+        )
         samples = measure_savat_samples(
             machine,
             event_a,
@@ -796,52 +868,79 @@ def simulate_cell(
     return samples
 
 
-_WORKER_STATE: dict = {}
+#: The worker's persistent trace cache (module-level, so it survives
+#: across every campaign executed over the same pool) and the spec it
+#: was built from.
+_WORKER_TRACE_CACHE: TraceCache | None = None
+_WORKER_TRACE_CACHE_SPEC: dict | None = None
 
 
-def _init_worker(
-    machine: CalibratedMachine, config: MeasurementConfig, repetitions: int
-) -> None:
-    """Stash the per-process campaign context (runs once per worker)."""
-    _WORKER_STATE["machine"] = machine
-    _WORKER_STATE["config"] = config
-    _WORKER_STATE["repetitions"] = repetitions
+def _worker_trace_cache(spec: dict | None) -> TraceCache | None:
+    """The per-process trace cache matching ``spec`` (memoized).
+
+    The parent ships the cache *spec* — its disk-tier path and LRU
+    bound, never trace payloads — and each worker rebuilds its own
+    :class:`~repro.core.trace_cache.TraceCache` over the shared disk
+    tier.  The cache is keyed by the spec, so a long-lived pool keeps
+    its warm LRU across campaigns that share a cache and transparently
+    rebuilds when a campaign arrives with a different one.
+    """
+    global _WORKER_TRACE_CACHE, _WORKER_TRACE_CACHE_SPEC
+    if spec is None:
+        return None
+    if _WORKER_TRACE_CACHE is None or _WORKER_TRACE_CACHE_SPEC != spec:
+        _WORKER_TRACE_CACHE = TraceCache.from_spec(spec)
+        _WORKER_TRACE_CACHE_SPEC = dict(spec)
+    return _WORKER_TRACE_CACHE
+
+
+def _init_worker(trace_cache_spec: dict | None = None) -> None:
+    """Build the worker's persistent trace cache (runs once per worker)."""
+    _worker_trace_cache(trace_cache_spec)
 
 
 def _cell_task(
     i: int,
     j: int,
+    machine: CalibratedMachine,
+    config: MeasurementConfig,
+    repetitions: int,
     event_a: InstructionEvent,
     event_b: InstructionEvent,
     seed_sequence: np.random.SeedSequence,
     plan: FrequencyPlan,
     fault: CellFault | None,
+    trace_cache_spec: dict | None,
 ) -> tuple[int, int, np.ndarray, float, dict[str, float], dict]:
     """Simulate one cell inside a worker process.
 
-    The cell ships its pre-computed frequency plan from the parent, so
-    workers never re-run the per-event CPI probes.  ``fault`` (set only
-    by an injected :class:`~repro.core.faults.FaultPlan`) raises or
-    hangs before the simulation starts; the reported elapsed time
-    covers the simulation only, since the parent measures timeout
-    budgets against its own clock.
+    The cell ships its campaign context (machine, config, repetitions)
+    and its pre-computed frequency plan from the parent — the pickles
+    are small, and carrying them per task (rather than in a pool
+    initializer) is what lets one persistent :class:`WorkerPool` serve
+    campaigns with different machines and configs back to back.
+    ``fault`` (set only by an injected
+    :class:`~repro.core.faults.FaultPlan`) raises or hangs before the
+    simulation starts; the reported elapsed time covers the simulation
+    only, since the parent measures timeout budgets against its own
+    clock.
 
     The sixth tuple element is the cell's **trace span fragment**
-    (worker pid, worker-side elapsed seconds, per-phase seconds):
-    workers never write to the trace file themselves — the parent
-    merges the fragment into the cell's ``span_end`` record, keeping
-    the trace single-writer under the process pool.
+    (worker pid, worker-side elapsed seconds, per-phase seconds, and
+    the cell's trace-cache counter delta): workers never write to the
+    trace file themselves — the parent merges the fragment into the
+    cell's ``span_end`` record, keeping the trace single-writer under
+    the process pool.
     """
-    machine = _WORKER_STATE["machine"]
-    config = _WORKER_STATE["config"]
-    repetitions = _WORKER_STATE["repetitions"]
+    cache = _worker_trace_cache(trace_cache_spec)
     if fault is not None:
         fault.apply()
     started = time.perf_counter()
     phases: dict[str, float] = {}
+    before = cache.counters() if cache is not None else None
     samples = simulate_cell(
         machine, config, event_a, event_b, repetitions, seed_sequence,
-        plan=plan, phase_seconds=phases,
+        plan=plan, phase_seconds=phases, trace_cache=cache,
     )
     elapsed = time.perf_counter() - started
     fragment = {
@@ -849,6 +948,10 @@ def _cell_task(
         "elapsed_s": elapsed,
         "phase_seconds": dict(phases),
     }
+    if cache is not None:
+        fragment["trace_cache"] = TraceCache.counter_delta(
+            cache.counters(), before
+        )
     return i, j, samples, elapsed, phases, fragment
 
 
@@ -880,6 +983,51 @@ class _PendingCell:
         return (self.i, self.j)
 
 
+class WorkerPool:
+    """A persistent worker pool that outlives individual campaigns.
+
+    :func:`execute_campaign` normally creates and destroys its own
+    process pool, which also destroys every worker's warm in-process
+    trace LRU.  A ``WorkerPool`` inverts that ownership: the caller
+    (typically :func:`repro.core.study.run_study`) builds the pool
+    once, passes it to each campaign via ``execute_campaign(pool=...)``,
+    and the same worker processes — with their
+    :mod:`repro.core.trace_cache` LRUs still warm — serve every
+    campaign's cold cells.  Workers are initialized with the trace
+    cache's *spec* (its disk path and LRU bound); trace payloads never
+    cross the process boundary.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(
+        self, workers: int, trace_cache: TraceCache | None = None
+    ) -> None:
+        self.workers = max(int(workers), 1)
+        self.trace_cache_spec = (
+            trace_cache.spec() if trace_cache is not None else None
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self.trace_cache_spec,),
+        )
+
+    def submit(self, fn, /, *args):
+        """Submit one task to the pool (``ProcessPoolExecutor.submit``)."""
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Shut the pool down (idempotent)."""
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
 # ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
@@ -898,6 +1046,8 @@ def execute_campaign(
     resume: bool = False,
     fault_plan: FaultPlan | None = None,
     observability: CampaignObservability | None = None,
+    trace_cache: TraceCache | bool | None = None,
+    pool: WorkerPool | None = None,
 ) -> tuple[np.ndarray, CampaignStats]:
     """Measure every ordered (A, B) cell of a campaign, possibly in parallel.
 
@@ -953,6 +1103,19 @@ def execute_campaign(
         :class:`CampaignStats` records into.  A registry-only bundle
         (no trace, no progress, no metrics file) is created when
         omitted.
+    trace_cache:
+        Kernel-trace cache (:class:`~repro.core.trace_cache.TraceCache`)
+        serving the prime/core_run trace-production stage.  ``None``
+        (the default) uses the process-wide cache configured by
+        ``SAVAT_TRACE_CACHE`` / ``SAVAT_TRACE_CACHE_DIR``; ``False``
+        disables trace caching for this campaign.  Samples are
+        bit-identical with the cache on or off.
+    pool:
+        A persistent :class:`WorkerPool` to fan cells out over instead
+        of creating (and tearing down) a private pool.  The pool's
+        workers keep their warm trace LRUs across campaigns; the
+        caller owns the pool's lifetime.  When given, it overrides
+        ``workers``.
 
     Returns
     -------
@@ -981,9 +1144,20 @@ def execute_campaign(
         raise ConfigurationError("cell_timeout_s must be positive")
     names = [event.name for event in resolved]
 
-    effective_workers = max(int(workers), 1)
+    if trace_cache is False:
+        resolved_trace_cache: TraceCache | None = None
+    elif trace_cache is None or trace_cache is True:
+        resolved_trace_cache = get_process_trace_cache()
+    else:
+        resolved_trace_cache = trace_cache
+
+    effective_workers = (
+        pool.workers if pool is not None else max(int(workers), 1)
+    )
     obs = observability if observability is not None else CampaignObservability()
     stats = CampaignStats(workers=effective_workers, registry=obs.metrics)
+    if cache is not None:
+        cache.begin_execution()
     samples = np.zeros((count, count, repetitions))
     seeds = spawn_cell_seeds(seed, count)
     started = time.perf_counter()
@@ -1148,6 +1322,10 @@ def execute_campaign(
         ) -> None:
             worker_pid = fragment.get("worker_pid") if fragment else None
             stats.record_simulated(worker_pid)
+            trace_delta = (fragment or {}).get("trace_cache")
+            if trace_delta:
+                stats.record_trace_cache(trace_delta)
+                obs.trace_cache(cell.i, cell.j, trace_delta)
             if cache is not None:
                 cache.store_cell(key, cell.i, cell.j, cell_samples)
             checkpoint(cell.i, cell.j, cell_samples, elapsed, phases)
@@ -1162,17 +1340,19 @@ def execute_campaign(
                 obs.fault_injected(attempt=attempt, **fault.trace_fields())
             return fault
 
-        if effective_workers <= 1 or len(pending) <= 1:
+        if pool is None and (effective_workers <= 1 or len(pending) <= 1):
             _run_serial(
                 pending, machine, config, repetitions, stats,
                 max_retries, cell_timeout_s, names,
                 dispatch_fault, complete_cell, obs,
+                trace_cache=resolved_trace_cache,
             )
         elif pending:
             _run_pool(
                 pending, machine, config, repetitions, stats,
                 effective_workers, max_retries, cell_timeout_s, names,
                 dispatch_fault, complete_cell, obs,
+                trace_cache=resolved_trace_cache, pool=pool,
             )
         status = "ok"
     finally:
@@ -1196,6 +1376,7 @@ def _run_serial(
     dispatch_fault: Callable[[_PendingCell, int], CellFault | None],
     complete_cell: Callable,
     obs: CampaignObservability,
+    trace_cache: TraceCache | None = None,
 ) -> None:
     """Simulate the cold cells in-process, with the retry loop.
 
@@ -1215,6 +1396,7 @@ def _run_serial(
             obs.cell_start(cell.i, cell.j, attempt, pair)
             cell_started = time.perf_counter()
             phases: dict[str, float] = {}
+            before = trace_cache.counters() if trace_cache is not None else None
             try:
                 if fault is not None:
                     fault.apply()
@@ -1222,6 +1404,7 @@ def _run_serial(
                     machine, config, cell.event_a, cell.event_b,
                     repetitions, cell.seed_sequence,
                     plan=cell.plan, phase_seconds=phases,
+                    trace_cache=trace_cache,
                 )
             except Exception as error:  # noqa: BLE001 — classified below
                 obs.cell_end(
@@ -1268,6 +1451,10 @@ def _run_serial(
                 "elapsed_s": elapsed,
                 "phase_seconds": dict(phases),
             }
+            if trace_cache is not None:
+                fragment["trace_cache"] = TraceCache.counter_delta(
+                    trace_cache.counters(), before
+                )
             obs.cell_end(
                 cell.i, cell.j, attempt, status="ok",
                 elapsed_s=elapsed, fragment=fragment,
@@ -1289,6 +1476,8 @@ def _run_pool(
     dispatch_fault: Callable[[_PendingCell, int], CellFault | None],
     complete_cell: Callable,
     obs: CampaignObservability,
+    trace_cache: TraceCache | None = None,
+    pool: WorkerPool | None = None,
 ) -> None:
     """Fan the cold cells out across worker processes.
 
@@ -1300,13 +1489,25 @@ def _run_pool(
     abandoned attempts are discarded even if they eventually arrive; the
     retry recomputes the identical samples from the cell's original
     seed-schedule entry.
+
+    With an external :class:`WorkerPool`, its (already running) workers
+    are used as-is and the pool is left alive on exit — the caller owns
+    its lifetime, which is what keeps worker trace LRUs warm between
+    the campaigns of a study.
     """
-    pool_workers = min(effective_workers, len(pending))
-    pool = ProcessPoolExecutor(
-        max_workers=pool_workers,
-        initializer=_init_worker,
-        initargs=(machine, config, repetitions),
-    )
+    trace_cache_spec = trace_cache.spec() if trace_cache is not None else None
+    if pool is not None:
+        pool_workers = pool.workers
+        submit = pool.submit
+        owned_pool: ProcessPoolExecutor | None = None
+    else:
+        pool_workers = min(effective_workers, len(pending))
+        owned_pool = ProcessPoolExecutor(
+            max_workers=pool_workers,
+            initializer=_init_worker,
+            initargs=(trace_cache_spec,),
+        )
+        submit = owned_pool.submit
     queue: deque[tuple[_PendingCell, int]] = deque(
         (cell, 0) for cell in pending
     )
@@ -1336,10 +1537,12 @@ def _run_pool(
                     cell.i, cell.j, attempt,
                     f"{names[cell.i]}/{names[cell.j]}",
                 )
-                future = pool.submit(
+                future = submit(
                     _cell_task,
-                    cell.i, cell.j, cell.event_a, cell.event_b,
+                    cell.i, cell.j, machine, config, repetitions,
+                    cell.event_a, cell.event_b,
                     cell.seed_sequence, cell.plan, fault,
+                    trace_cache_spec,
                 )
                 outstanding[future] = (cell, time.monotonic(), attempt)
             if not outstanding:
@@ -1423,8 +1626,11 @@ def _run_pool(
     finally:
         # Never block campaign teardown on a hung worker: if any attempt
         # was abandoned (or the run failed), drop the pool without
-        # waiting for it.
-        pool.shutdown(wait=clean_shutdown, cancel_futures=True)
+        # waiting for it.  An external WorkerPool is the caller's to
+        # shut down — its workers (and their warm trace LRUs) survive
+        # this campaign.
+        if owned_pool is not None:
+            owned_pool.shutdown(wait=clean_shutdown, cancel_futures=True)
 
 
 __all__ = [
@@ -1434,6 +1640,7 @@ __all__ = [
     "CampaignJournal",
     "CampaignStats",
     "ResultCache",
+    "WorkerPool",
     "campaign_cache_key",
     "cell_seed",
     "execute_campaign",

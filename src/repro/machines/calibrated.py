@@ -15,6 +15,7 @@ microarchitecture).  Interpolated targets are flagged ``exact=False``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,7 +23,7 @@ import numpy as np
 from repro.em.coupling import CouplingMatrix, DEFAULT_NUM_MODES
 from repro.em.environment import NoiseEnvironment, quiet_lab_environment
 from repro.em.propagation import interpolate_matrix
-from repro.errors import CalibrationError
+from repro.errors import CalibrationError, ConfigurationError
 from repro.machines.calibration import CalibrationResult, calibrate
 from repro.machines.catalog import get_machine
 from repro.machines.reference_data import (
@@ -154,7 +155,21 @@ def load_calibrated_machine(
         setup.  The environment does not participate in calibration
         (measurements are noise-floor-corrected, as on the real
         analyzer), so it may vary freely per measurement.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``distance_m`` is not a positive, finite distance — caught
+        here with a one-line error instead of surfacing later as a
+        propagation-model surprise (zero/negative distances make the
+        near-field roll-off divide by zero or invert).
     """
+    distance = float(distance_m)
+    if not math.isfinite(distance) or distance <= 0:
+        raise ConfigurationError(
+            f"distance_m must be a positive, finite distance in metres; "
+            f"got {distance_m!r}"
+        )
     key = (name.lower(), round(float(distance_m), 4), num_modes)
     if key not in _CACHE:
         spec = get_machine(name)

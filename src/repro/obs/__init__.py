@@ -204,6 +204,19 @@ class CampaignObservability:
         if self.trace is not None:
             self.trace.event("cache_quarantine", i=i, j=j)
 
+    def trace_cache(self, i: int, j: int, delta: dict) -> None:
+        """One cell's kernel-trace-cache counter delta (hits, misses,
+        stores, quarantines — see
+        :meth:`repro.core.trace_cache.TraceCache.counters`).  Emitted
+        only when the cell touched the trace cache at all."""
+        if self.trace is not None and any(delta.values()):
+            self.trace.event(
+                "trace_cache",
+                i=i,
+                j=j,
+                **{name: int(value) for name, value in delta.items()},
+            )
+
     def journal_resume(self, i: int, j: int) -> None:
         """A completed cell was restored from the campaign journal."""
         if self.trace is not None:

@@ -58,6 +58,15 @@ EXECUTION_GAUGES = {
     "wall_seconds": "savat_wall_seconds",
 }
 
+#: execution["trace_cache"] entries and the (metric, labels) behind each.
+TRACE_CACHE_COUNTERS = {
+    "memory_hits": ("savat_trace_cache_hits_total", (("tier", "memory"),)),
+    "disk_hits": ("savat_trace_cache_hits_total", (("tier", "disk"),)),
+    "misses": ("savat_trace_cache_misses_total", ()),
+    "stores": ("savat_trace_cache_stores_total", ()),
+    "quarantined": ("savat_trace_cache_quarantined_total", ()),
+}
+
 
 def parse_prometheus(text: str) -> tuple[dict, list[str]]:
     """Parse Prometheus text format into ``{(name, labels): value}``.
@@ -120,6 +129,17 @@ def check_against_execution(samples: dict, execution: dict) -> list[str]:
         expect(metric, frozenset(), execution[key], key)
     for key, metric in EXECUTION_GAUGES.items():
         expect(metric, frozenset(), execution[key], key)
+    # Nested trace-cache counters (absent in matrices from releases that
+    # predate the trace cache; skipped rather than failed there).
+    trace_cache = execution.get("trace_cache")
+    if trace_cache is not None:
+        for key, (metric, labels) in TRACE_CACHE_COUNTERS.items():
+            expect(
+                metric,
+                frozenset(labels),
+                trace_cache[key],
+                f"trace_cache[{key}]",
+            )
     faults = execution.get("faults_injected") or {}
     for kind, count in faults.items():
         expect(
@@ -208,6 +228,7 @@ if __name__ == "__main__":
 __all__ = [
     "EXECUTION_COUNTERS",
     "EXECUTION_GAUGES",
+    "TRACE_CACHE_COUNTERS",
     "check_against_execution",
     "main",
     "parse_prometheus",

@@ -23,6 +23,14 @@ import os
 from contextlib import contextmanager
 from typing import Iterator
 
+#: Version of the simulator's observable semantics.  Bump whenever a
+#: change to the microarchitectural model, the activity recording, or
+#: the kernel codegen alters the traces it produces: cached kernel
+#: traces (:mod:`repro.core.trace_cache`) embed this in their content
+#: key, so stale traces from an older simulator miss instead of
+#: replaying outdated activity.
+UARCH_SCHEMA_VERSION = 1
+
 #: Environment variable that disables the fast path when set truthy.
 REFERENCE_PATH_ENV = "SAVAT_REFERENCE_PATH"
 
@@ -83,6 +91,7 @@ def use_fast_path() -> Iterator[None]:
 __all__ = [
     "PRIME_EXTRAPOLATE_ENV",
     "REFERENCE_PATH_ENV",
+    "UARCH_SCHEMA_VERSION",
     "fast_path_enabled",
     "prime_extrapolation_enabled",
     "set_fast_path",

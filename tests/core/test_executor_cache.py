@@ -283,3 +283,35 @@ class TestCacheKey:
         before = manifest.read_text()
         cache.write_manifest("k", {"seed": 999})
         assert manifest.read_text() == before
+
+
+class TestCounterResetPerExecution:
+    """Pin that a shared ``ResultCache`` reports per-execution counters.
+
+    A study reuses one cache object across many campaigns; without the
+    per-execution reset, the second campaign's metadata would carry the
+    first campaign's hits and misses too (the regression this pins).
+    """
+
+    def test_begin_execution_zeroes_the_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.load_cell("k", 0, 0, repetitions=2)
+        cache.store_cell("k", 0, 0, np.ones(2))
+        cache.load_cell("k", 0, 0, repetitions=2)
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.begin_execution()
+        assert (cache.hits, cache.misses, cache.quarantine_count) == (0, 0, 0)
+        assert cache.quarantined_paths == []
+
+    @pytest.mark.slow
+    def test_reused_cache_reports_per_campaign_counters(self, core2duo_10cm, tmp_path):
+        cells = len(EVENTS) ** 2
+        cache = ResultCache(tmp_path)
+        cold = _run(core2duo_10cm, None, cache=cache)
+        warm = _run(core2duo_10cm, None, cache=cache)
+        assert _execution(cold)["cache_misses"] == cells
+        assert _execution(cold)["cache_hits"] == 0
+        # Not cumulative: the warm campaign reports only its own traffic.
+        assert _execution(warm)["cache_hits"] == cells
+        assert _execution(warm)["cache_misses"] == 0
+        assert np.array_equal(cold.samples_zj, warm.samples_zj)

@@ -62,3 +62,30 @@ class TestLoadCalibratedMachine:
         core1 = core2duo_10cm.make_core()
         core2 = core2duo_10cm.make_core()
         assert core1 is not core2
+
+
+class TestDistanceValidation:
+    """Bad distances fail at the loader with one clear error line.
+
+    A zero or negative distance used to surface deep inside the
+    propagation model (divide-by-zero in the near-field roll-off, or an
+    inverted attenuation ratio); NaN/inf produced nonsense calibrations.
+    """
+
+    @pytest.mark.parametrize(
+        "distance", [0.0, -0.10, float("nan"), float("inf"), float("-inf")]
+    )
+    def test_invalid_distances_rejected(self, distance):
+        with pytest.raises(ConfigurationError, match="positive, finite"):
+            load_calibrated_machine("core2duo", distance)
+
+    def test_error_names_the_offending_value(self):
+        with pytest.raises(ConfigurationError, match="-0.25"):
+            load_calibrated_machine("core2duo", -0.25)
+
+    def test_validation_happens_before_the_calibration_cache(self):
+        # A rejected distance must not poison the loader cache.
+        with pytest.raises(ConfigurationError):
+            load_calibrated_machine("core2duo", -1.0)
+        machine = load_calibrated_machine("core2duo", 0.10)
+        assert machine.distance_m == 0.10

@@ -9,7 +9,10 @@ import pytest
 from repro.cli import (
     _campaign_execution_kwargs,
     _campaign_summary_lines,
+    _distance,
+    _distance_list,
     _event_list,
+    _machine_list,
     _measurement_config,
     build_parser,
     main,
@@ -361,3 +364,110 @@ class TestExtendedCommands:
         assert code == 0
         assert "recommend" in output
         assert "<- chosen" in output
+
+
+class TestDistanceArguments:
+    def test_distance_parses_a_positive_float(self):
+        assert _distance("0.25") == 0.25
+
+    @pytest.mark.parametrize("text", ["0", "-0.1", "nan", "inf", "-inf"])
+    def test_invalid_distance_rejected(self, text):
+        with pytest.raises(argparse.ArgumentTypeError, match="positive, finite"):
+            _distance(text)
+
+    def test_non_numeric_distance_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="invalid distance"):
+            _distance("close")
+
+    def test_parser_rejects_bad_distance_with_exit_code_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["campaign", "--distance", "-1"])
+        assert excinfo.value.code == 2
+        assert "positive, finite" in capsys.readouterr().err
+
+    def test_distance_list_parses_and_validates(self):
+        assert _distance_list("0.10, 0.25,") == [0.10, 0.25]
+        with pytest.raises(argparse.ArgumentTypeError, match="positive, finite"):
+            _distance_list("0.10,0")
+        with pytest.raises(argparse.ArgumentTypeError, match="no distances"):
+            _distance_list(",,")
+
+
+class TestMachineList:
+    def test_parses_and_normalizes(self):
+        assert _machine_list("core2duo, PENTIUM3M") == ["core2duo", "pentium3m"]
+
+    def test_unknown_machine_names_itself_and_the_choices(self):
+        with pytest.raises(argparse.ArgumentTypeError) as excinfo:
+            _machine_list("core2duo,laptop")
+        assert "unknown machine 'laptop'" in str(excinfo.value)
+        assert "core2duo" in str(excinfo.value)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="no machine names"):
+            _machine_list(",")
+
+
+class TestStudyParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.machines == ["core2duo"]
+        assert args.distances == [0.10, 0.50]
+        assert args.events is None
+        assert args.workers == 0
+        assert args.format == "table"
+        assert not args.no_trace_cache
+
+    def test_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "study",
+                "--machines", "core2duo,pentium3m",
+                "--distances", "0.10,0.25,1.0",
+                "--events", "ADD,SUB",
+                "--workers", "4",
+                "--trace-cache-dir", str(tmp_path / "traces"),
+                "--output-dir", str(tmp_path / "out"),
+                "--no-trace-cache",
+                "--format", "json",
+            ]
+        )
+        assert args.machines == ["core2duo", "pentium3m"]
+        assert args.distances == [0.10, 0.25, 1.0]
+        assert args.events == ["ADD", "SUB"]
+        assert args.workers == 4
+        assert args.no_trace_cache
+        assert args.format == "json"
+
+    @pytest.mark.slow
+    def test_study_command_runs_end_to_end(self, capsys, core2duo_10cm):
+        code = main(
+            [
+                "study",
+                "--distances", "0.10,0.50",
+                "--events", "ADD,SUB",
+                "--repetitions", "2",
+                "--seed", "3",
+                "--method", "analytic",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "2 campaign(s)" in output
+        assert "trace cache totals" in output
+
+    @pytest.mark.slow
+    def test_study_json_format(self, capsys, core2duo_10cm):
+        code = main(
+            [
+                "study",
+                "--distances", "0.10",
+                "--events", "ADD,SUB",
+                "--repetitions", "2",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["campaigns"]) == 1
+        assert payload["trace_cache"]["stores"] == 4
