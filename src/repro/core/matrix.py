@@ -51,6 +51,10 @@ class SavatMatrix:
             raise ConfigurationError(
                 f"samples must have shape ({count}, {count}, R), got {samples.shape}"
             )
+        if samples.base is not None:
+            # A matrix must own its storage: a view could dangle into a
+            # shared-memory arena that its campaign unlinks at teardown.
+            samples = samples.copy()
         self.samples_zj = samples
 
     # ------------------------------------------------------------------

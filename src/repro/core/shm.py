@@ -1,0 +1,373 @@
+"""POSIX shared-memory data plane for pooled campaigns.
+
+Pooled campaigns move two kinds of bulk payload between processes: the
+per-cell repetition samples (worker -> parent, previously pickled
+through ``future.result()``) and the kernel traces behind the
+cross-campaign trace cache (worker <-> worker, previously an ``.npz``
+disk round-trip).  Both are plain float64 arrays, so both can travel
+through one ``multiprocessing.shared_memory`` segment instead:
+
+* :class:`SampleArena` — one segment per pooled campaign holding the
+  full ``(count, count, repetitions)`` sample cube plus a per-cell
+  strip of phase seconds and elapsed time.  The parent creates it
+  before fan-out, every worker writes its cell's slice in place, and
+  worker results shrink to scalars (indices, elapsed, counter deltas,
+  span fragment) — no sample array is ever pickled.
+* segment helpers (:func:`create_segment` / :func:`attach_segment` /
+  :func:`unlink_segments`) — the primitives behind the trace cache's
+  shared-memory tier, where sibling workers serve each other traces
+  without touching disk.
+
+Lifecycle discipline: the **parent** that creates a segment owns its
+name and unlinks it in a ``finally`` (fault, timeout, resume, and
+``CellExecutionError`` paths included), so ``/dev/shm`` never
+accumulates ``savat_*`` entries.  POSIX unlink semantics make this
+safe even while an abandoned (hung) worker attempt is still writing:
+unlinking removes the *name*; the zombie's mapping stays valid until
+it closes, and its late writes land in memory nobody will read.
+Workers that merely *attach* a segment are unregistered from the
+``multiprocessing`` resource tracker, which otherwise unlinks
+attached segments when the worker exits (and would destroy the
+parent's live arena mid-campaign).
+
+The plane is optional.  ``SAVAT_SHM=0`` disables it process-wide, and
+:func:`shm_available` gates it to Linux — the one platform where POSIX
+segment names are long enough for content-hash keys and ``/dev/shm``
+can be enumerated for leak checks — so serial mode and other platforms
+fall back to the pickle/disk paths with bit-identical samples.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+import sys
+from contextlib import contextmanager
+from multiprocessing import resource_tracker
+from pathlib import Path
+
+import numpy as np
+
+#: Environment variable that disables the shared-memory plane when
+#: set falsy (it is on by default where :func:`shm_available`).
+SHM_ENV = "SAVAT_SHM"
+
+#: Every segment this codebase creates starts with this, so a leak
+#: check is one ``ls /dev/shm/savat_*`` away.
+SEGMENT_PREFIX = "savat_"
+
+#: Where Linux exposes POSIX shared-memory segments as files.
+SHM_DIR = Path("/dev/shm")
+
+_FALSY = {"0", "false", "no", "off"}
+
+_TOKENS = itertools.count()
+
+
+def shm_enabled(environ: dict | None = None) -> bool:
+    """Whether ``SAVAT_SHM`` permits the shared-memory plane (default yes)."""
+    environ = os.environ if environ is None else environ
+    return environ.get(SHM_ENV, "").strip().lower() not in _FALSY
+
+
+def shm_available() -> bool:
+    """Whether this platform supports the shared-memory plane.
+
+    Linux only: POSIX limits segment-name length to 31 characters on
+    macOS (too short for content-hash keys) and ``/dev/shm`` — which
+    the leak checks and prefix unlinking enumerate — is Linux-specific.
+    """
+    if not sys.platform.startswith("linux"):
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:
+        return False
+    return SHM_DIR.is_dir()
+
+
+def resolve_shm(shm: bool | None, environ: dict | None = None) -> bool:
+    """Resolve a ``shm`` parameter against the environment and platform.
+
+    ``None`` defers to ``SAVAT_SHM`` (on by default); ``True`` requests
+    the plane but still degrades to the pickle/disk fallback when the
+    platform lacks it; ``False`` disables it outright.  Samples are
+    bit-identical either way.
+    """
+    if shm is False:
+        return False
+    if shm is None and not shm_enabled(environ):
+        return False
+    return shm_available()
+
+
+def new_token() -> str:
+    """A short name component unique across and within processes."""
+    return f"{os.getpid():x}_{next(_TOKENS):x}_{secrets.token_hex(4)}"
+
+
+@contextmanager
+def _untracked():
+    """Suppress resource-tracker registration inside the block.
+
+    A segment that a process merely *attaches* (or creates on behalf
+    of a longer-lived owner, like a worker producing a trace segment)
+    must not be tracked: the tracker unlinks every tracked segment
+    when its process exits, destroying the owner's live segment.  The
+    pre-3.13 ``SharedMemory`` API has no ``track=False``, and
+    register-then-unregister is racy — the tracker's name set is
+    shared by parent and workers, so interleaved register/unregister
+    pairs for one name can strip a registration someone still relies
+    on.  Not registering at all is the only ordering-safe option.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+# ----------------------------------------------------------------------
+# The campaign sample arena
+# ----------------------------------------------------------------------
+class SampleArena:
+    """One campaign's zero-copy sample plane.
+
+    Layout (all float64): a ``(count, count, repetitions)`` sample cube
+    followed by a ``(count, count, STRIP_WIDTH)`` per-cell strip of
+    ``prime`` / ``core_run`` / ``synthesize`` / ``analyze`` phase
+    seconds plus the worker-side elapsed time.  Strip slots are NaN
+    until the owning cell's worker writes them, which doubles as the
+    "phase never ran" marker (a trace-cache hit records no prime or
+    core_run seconds).
+
+    The parent :meth:`create`\\ s the arena and later :meth:`unlink`\\ s
+    it; workers :meth:`attach` from the :meth:`spec` shipped in the
+    task payload and only ever :meth:`close` their mapping.  Each cell
+    ``(i, j)`` is written by exactly one live attempt — retried
+    attempts return their samples by pickle instead — so no two
+    writers share a slot.
+    """
+
+    #: Strip columns, in order: the four pipeline phases, then elapsed.
+    STRIP_FIELDS = ("prime", "core_run", "synthesize", "analyze", "elapsed_s")
+    STRIP_WIDTH = len(STRIP_FIELDS)
+
+    def __init__(self, segment, count: int, repetitions: int, owner: bool) -> None:
+        self._segment = segment
+        self.count = int(count)
+        self.repetitions = int(repetitions)
+        self.owner = owner
+        cube = self.count * self.count * self.repetitions
+        strip = self.count * self.count * self.STRIP_WIDTH
+        buffer = segment.buf
+        self.samples = np.ndarray(
+            (self.count, self.count, self.repetitions),
+            dtype=np.float64,
+            buffer=buffer[: cube * 8],
+        )
+        self.strip = np.ndarray(
+            (self.count, self.count, self.STRIP_WIDTH),
+            dtype=np.float64,
+            buffer=buffer[cube * 8 : (cube + strip) * 8],
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def nbytes(cls, count: int, repetitions: int) -> int:
+        """Segment size for a ``count x count x repetitions`` campaign."""
+        cells = count * count
+        return (cells * repetitions + cells * cls.STRIP_WIDTH) * 8
+
+    @classmethod
+    def create(cls, count: int, repetitions: int) -> "SampleArena":
+        """Allocate a fresh arena (parent side; caller must unlink)."""
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(
+            create=True,
+            name=f"{SEGMENT_PREFIX}arena_{new_token()}",
+            size=cls.nbytes(count, repetitions),
+        )
+        arena = cls(segment, count, repetitions, owner=True)
+        arena.samples.fill(0.0)
+        arena.strip.fill(np.nan)
+        return arena
+
+    @classmethod
+    def attach(cls, spec: dict) -> "SampleArena":
+        """Map an existing arena from its :meth:`spec` (worker side)."""
+        from multiprocessing import shared_memory
+
+        with _untracked():
+            segment = shared_memory.SharedMemory(name=spec["name"])
+        return cls(
+            segment, spec["count"], spec["repetitions"], owner=False
+        )
+
+    def spec(self) -> dict:
+        """Picklable attachment recipe shipped to workers."""
+        return {
+            "name": self._segment.name,
+            "count": self.count,
+            "repetitions": self.repetitions,
+        }
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    # ------------------------------------------------------------------
+    def write_cell(
+        self,
+        i: int,
+        j: int,
+        samples: np.ndarray,
+        phase_seconds: dict[str, float],
+        elapsed_s: float,
+    ) -> None:
+        """Write one cell's samples and strip entry in place (worker)."""
+        self.samples[i, j, :] = samples
+        row = self.strip[i, j]
+        row.fill(np.nan)
+        for column, field in enumerate(self.STRIP_FIELDS[:-1]):
+            if field in phase_seconds:
+                row[column] = phase_seconds[field]
+        row[self.STRIP_WIDTH - 1] = elapsed_s
+
+    def read_cell(self, i: int, j: int) -> np.ndarray:
+        """One cell's samples, copied out of the arena (parent)."""
+        return np.array(self.samples[i, j, :], dtype=np.float64)
+
+    def read_strip(self, i: int, j: int) -> tuple[dict[str, float], float]:
+        """One cell's ``(phase_seconds, elapsed_s)`` from the strip.
+
+        NaN slots — phases the cell never ran — are omitted from the
+        mapping, matching what an in-process run would have recorded.
+        """
+        row = self.strip[i, j]
+        phases = {
+            field: float(row[column])
+            for column, field in enumerate(self.STRIP_FIELDS[:-1])
+            if np.isfinite(row[column])
+        }
+        elapsed = row[self.STRIP_WIDTH - 1]
+        return phases, float(elapsed) if np.isfinite(elapsed) else 0.0
+
+    @property
+    def cell_nbytes(self) -> int:
+        """Bytes one cell's samples + strip entry would cost to pickle."""
+        return (self.repetitions + self.STRIP_WIDTH) * 8
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        # Views into the buffer must be released before the mapping.
+        self.samples = None
+        self.strip = None
+        try:
+            self._segment.close()
+        except Exception:  # noqa: BLE001 — already closed
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment's name (owner only; idempotent)."""
+        self.close()
+        if not self.owner:
+            return
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # noqa: BLE001 — already unlinked elsewhere
+            pass
+
+
+# ----------------------------------------------------------------------
+# Raw segments (the trace cache's shared-memory tier)
+# ----------------------------------------------------------------------
+def create_segment(name: str, nbytes: int):
+    """Create an exclusive segment, or ``None`` if it already exists.
+
+    The creator is never registered with the resource tracker: trace
+    segments outlive the worker that produced them (that is the point
+    of the tier), and the owning campaign/study unlinks them by prefix
+    at teardown instead.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        with _untracked():
+            segment = shared_memory.SharedMemory(
+                create=True, name=name, size=int(nbytes)
+            )
+    except FileExistsError:
+        return None
+    except OSError:
+        return None
+    return segment
+
+
+def attach_segment(name: str):
+    """Map an existing segment by name, or ``None`` when absent."""
+    from multiprocessing import shared_memory
+
+    try:
+        with _untracked():
+            segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return None
+    except OSError:
+        return None
+    return segment
+
+
+def unlink_segment(name: str) -> bool:
+    """Remove one segment by name; ``True`` if it existed."""
+    path = SHM_DIR / name
+    try:
+        path.unlink()
+        return True
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+
+
+def list_segments(prefix: str) -> list[str]:
+    """Names of live segments starting with ``prefix``."""
+    if not SHM_DIR.is_dir():
+        return []
+    return sorted(path.name for path in SHM_DIR.glob(f"{prefix}*"))
+
+
+def unlink_segments(prefix: str) -> int:
+    """Unlink every live segment starting with ``prefix``.
+
+    The owner's teardown sweep: called after the pool has drained, so
+    no worker can create a segment under the prefix afterwards.
+    """
+    removed = 0
+    for name in list_segments(prefix):
+        if unlink_segment(name):
+            removed += 1
+    return removed
+
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SHM_DIR",
+    "SHM_ENV",
+    "SampleArena",
+    "attach_segment",
+    "create_segment",
+    "list_segments",
+    "new_token",
+    "resolve_shm",
+    "shm_available",
+    "shm_enabled",
+    "unlink_segment",
+    "unlink_segments",
+]

@@ -1,0 +1,507 @@
+"""Shared-memory sample plane, cost scheduling, and lifecycle tests.
+
+The shared-memory plane may only ever be a transport optimization: a
+pooled campaign with the arena on must produce bit-identical samples to
+a serial run with it off, under any schedule, and under injected
+faults.  Because segments are named kernel objects, the other property
+locked down here is lifecycle hygiene — every exit path (success,
+``CellExecutionError``, timeouts, a study failing mid-grid) must leave
+``/dev/shm`` free of ``savat_*`` entries.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import shm
+from repro.core.campaign import run_campaign
+from repro.core.executor import (
+    WorkerPool,
+    _order_by_cost,
+    _PendingCell,
+    _validate_schedule,
+    _validate_workers,
+)
+from repro.core.faults import FaultPlan
+from repro.core.savat import (
+    MeasurementConfig,
+    _plan_pair,
+    estimate_cell_cost,
+)
+from repro.core.study import run_study
+from repro.core.trace_cache import TraceCache, new_shm_prefix
+from repro.errors import CellExecutionError, ConfigurationError
+from repro.isa.events import get_event
+from repro.uarch.activity import ActivityTrace
+
+FAST_CONFIG = MeasurementConfig(alternation_frequency_hz=800e3)
+
+EVENTS = ("ADD", "SUB")
+SEED = 3
+REPETITIONS = 2
+
+needs_shm = pytest.mark.skipif(
+    not shm.shm_available(), reason="platform has no shared-memory plane"
+)
+
+
+def _savat_segments() -> list[str]:
+    """Every live /dev/shm entry this codebase could have leaked."""
+    return shm.list_segments(shm.SEGMENT_PREFIX)
+
+
+def _run(machine, **overrides):
+    parameters = dict(
+        events=EVENTS,
+        repetitions=REPETITIONS,
+        seed=SEED,
+        config=FAST_CONFIG,
+    )
+    parameters.update(overrides)
+    return run_campaign(machine, **parameters)
+
+
+def _sleep(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+# ----------------------------------------------------------------------
+# SampleArena
+# ----------------------------------------------------------------------
+@needs_shm
+class TestSampleArena:
+    def test_write_read_roundtrip(self):
+        arena = shm.SampleArena.create(3, 4)
+        try:
+            samples = np.array([1.0, 2.5, -3.0, 4.25])
+            arena.write_cell(
+                1, 2, samples, {"prime": 0.5, "analyze": 0.125}, 2.0
+            )
+            assert np.array_equal(arena.read_cell(1, 2), samples)
+            phases, elapsed = arena.read_strip(1, 2)
+            assert phases == {"prime": 0.5, "analyze": 0.125}
+            assert elapsed == 2.0
+        finally:
+            arena.unlink()
+
+    def test_unwritten_strip_reads_empty(self):
+        arena = shm.SampleArena.create(2, 2)
+        try:
+            phases, elapsed = arena.read_strip(0, 0)
+            assert phases == {}
+            assert elapsed == 0.0
+        finally:
+            arena.unlink()
+
+    def test_attachment_writes_are_visible_to_the_owner(self):
+        arena = shm.SampleArena.create(2, 3)
+        try:
+            attachment = shm.SampleArena.attach(arena.spec())
+            attachment.write_cell(
+                0, 1, np.array([7.0, 8.0, 9.0]), {"core_run": 1.0}, 0.5
+            )
+            attachment.close()
+            assert np.array_equal(
+                arena.read_cell(0, 1), np.array([7.0, 8.0, 9.0])
+            )
+            assert arena.read_strip(0, 1) == ({"core_run": 1.0}, 0.5)
+        finally:
+            arena.unlink()
+
+    def test_unlink_removes_the_segment_and_is_idempotent(self):
+        arena = shm.SampleArena.create(2, 2)
+        name = arena.name
+        assert name in _savat_segments()
+        arena.unlink()
+        assert name not in _savat_segments()
+        arena.unlink()  # must not raise
+
+    def test_sizes(self):
+        assert shm.SampleArena.nbytes(3, 4) == (9 * 4 + 9 * 5) * 8
+        arena = shm.SampleArena.create(2, 3)
+        try:
+            assert arena.cell_nbytes == (3 + 5) * 8
+        finally:
+            arena.unlink()
+
+
+@needs_shm
+class TestSegmentHelpers:
+    def test_create_is_exclusive(self):
+        name = f"{shm.SEGMENT_PREFIX}test_{shm.new_token()}"
+        segment = shm.create_segment(name, 64)
+        try:
+            assert segment is not None
+            assert shm.create_segment(name, 64) is None
+        finally:
+            segment.close()
+            shm.unlink_segment(name)
+
+    def test_attach_absent_returns_none(self):
+        assert shm.attach_segment(f"{shm.SEGMENT_PREFIX}nope") is None
+
+    def test_prefix_sweep(self):
+        prefix = f"{shm.SEGMENT_PREFIX}sweep_{shm.new_token()}_"
+        segments = [shm.create_segment(f"{prefix}{k}", 64) for k in "ab"]
+        for segment in segments:
+            segment.close()
+        assert len(shm.list_segments(prefix)) == 2
+        assert shm.unlink_segments(prefix) == 2
+        assert shm.list_segments(prefix) == []
+
+
+class TestResolveShm:
+    def test_enabled_by_default(self):
+        assert shm.shm_enabled({}) is True
+        assert shm.shm_enabled({"SAVAT_SHM": "1"}) is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", " OFF "])
+    def test_env_disables(self, value):
+        assert shm.shm_enabled({"SAVAT_SHM": value}) is False
+        assert shm.resolve_shm(None, {"SAVAT_SHM": value}) is False
+
+    def test_false_wins_over_everything(self):
+        assert shm.resolve_shm(False, {}) is False
+
+    def test_explicit_true_overrides_the_environment(self):
+        assert (
+            shm.resolve_shm(True, {"SAVAT_SHM": "0"}) == shm.shm_available()
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace-cache shm tier
+# ----------------------------------------------------------------------
+@needs_shm
+class TestTraceCacheShmTier:
+    ENTRY = (
+        ActivityTrace(
+            data=np.arange(13 * 4, dtype=np.float64).reshape(13, 4) + 1.0,
+            clock_hz=2.4e9,
+        ),
+        5,
+        80e3,
+    )
+
+    @pytest.fixture()
+    def prefix(self):
+        prefix = new_shm_prefix()
+        yield prefix
+        shm.unlink_segments(prefix)
+
+    def test_store_publishes_and_a_sibling_cache_hits(self, prefix):
+        writer = TraceCache(shm_prefix=prefix)
+        writer.store("k1", *self.ENTRY)
+        assert writer.shm_segments() == [f"{prefix}k1"]
+
+        reader = TraceCache(shm_prefix=prefix)
+        entry = reader.load("k1")
+        assert entry is not None
+        trace, inst_loop_count, predicted_hz = entry
+        assert np.array_equal(trace.data, self.ENTRY[0].data)
+        assert trace.clock_hz == self.ENTRY[0].clock_hz
+        assert (inst_loop_count, predicted_hz) == (5, 80e3)
+        assert reader.counters()["shm_hits"] == 1
+        assert reader.counters()["disk_hits"] == 0
+
+    def test_disk_hit_promotes_into_shm(self, prefix, tmp_path):
+        TraceCache(directory=tmp_path).store("k2", *self.ENTRY)
+
+        reader = TraceCache(directory=tmp_path, shm_prefix=prefix)
+        assert reader.load("k2") is not None
+        assert reader.counters()["disk_hits"] == 1
+        # Promotion is not a store: the entry was already persisted.
+        assert reader.counters()["stores"] == 0
+        assert reader.shm_segments() == [f"{prefix}k2"]
+
+        sibling = TraceCache(shm_prefix=prefix)
+        assert sibling.load("k2") is not None
+        assert sibling.counters()["shm_hits"] == 1
+
+    def test_corrupt_segment_is_unlinked_not_served(self, prefix):
+        writer = TraceCache(shm_prefix=prefix)
+        writer.store("k3", *self.ENTRY)
+        segment = shm.attach_segment(f"{prefix}k3")
+        flat = np.ndarray((segment.size // 8,), dtype=np.float64, buffer=segment.buf)
+        flat[0] = np.nan  # destroy the header
+        del flat
+        segment.close()
+
+        reader = TraceCache(shm_prefix=prefix)
+        assert reader.load("k3") is None
+        assert reader.counters()["misses"] == 1
+        assert reader.counters()["shm_hits"] == 0
+        assert shm.list_segments(f"{prefix}k3") == []
+
+    def test_unlink_shm_sweeps_the_prefix(self, prefix):
+        cache = TraceCache(shm_prefix=prefix)
+        cache.store("k4", *self.ENTRY)
+        cache.store("k5", *self.ENTRY)
+        assert cache.unlink_shm() == 2
+        assert cache.shm_segments() == []
+
+    def test_spec_roundtrip_carries_the_prefix(self, prefix):
+        cache = TraceCache(shm_prefix=prefix)
+        assert TraceCache.from_spec(cache.spec()).shm_prefix == prefix
+
+    def test_no_tier_without_prefix(self):
+        cache = TraceCache()
+        assert cache.shm_segments() == []
+        assert cache.unlink_shm() == 0
+        with pytest.raises(ValueError):
+            cache.segment_name("k")
+
+
+# ----------------------------------------------------------------------
+# Workers and schedule validation (the old failure was a pool traceback)
+# ----------------------------------------------------------------------
+class TestWorkersValidation:
+    @pytest.mark.parametrize("workers", [-1, -7, 2.5, "3", True, None])
+    def test_bad_values_are_rejected(self, workers):
+        with pytest.raises(ConfigurationError, match="workers"):
+            _validate_workers(workers)
+
+    @pytest.mark.parametrize("workers", [0, 1, 4, np.int64(2)])
+    def test_good_values_normalize(self, workers):
+        value = _validate_workers(workers)
+        assert isinstance(value, int)
+        assert value == int(workers)
+
+    def test_run_campaign_rejects_bad_workers(self, core2duo_10cm):
+        with pytest.raises(ConfigurationError, match="workers"):
+            _run(core2duo_10cm, workers=-1)
+
+    def test_run_study_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            run_study(["core2duo"], [0.10], workers=-2)
+
+    @pytest.mark.parametrize("value", ["-1", "2.5", "lots"])
+    def test_cli_rejects_bad_workers_at_parse_time(self, value, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--workers", value]
+            )
+        assert "workers" in capsys.readouterr().err
+
+    def test_worker_pool_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            WorkerPool(-1)
+
+
+class TestScheduleValidation:
+    def test_unknown_schedule_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="schedule"):
+            _validate_schedule("random")
+
+    def test_known_schedules_pass(self):
+        assert _validate_schedule("rowmajor") == "rowmajor"
+        assert _validate_schedule("cost") == "cost"
+
+    def test_run_campaign_rejects_bad_schedule(self, core2duo_10cm):
+        with pytest.raises(ConfigurationError, match="schedule"):
+            _run(core2duo_10cm, schedule="bogus")
+
+
+# ----------------------------------------------------------------------
+# Cost model and scheduling order
+# ----------------------------------------------------------------------
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def plans(self, core2duo_10cm):
+        def plan(a, b):
+            return _plan_pair(
+                core2duo_10cm,
+                get_event(a),
+                get_event(b),
+                FAST_CONFIG.alternation_frequency_hz,
+            )
+
+        return plan
+
+    def test_memory_pairs_cost_more_than_alu_pairs(self, plans):
+        alu = estimate_cell_cost(plans("ADD", "SUB"), 10, "analytic")
+        memory = estimate_cell_cost(plans("LDM", "STM"), 10, "analytic")
+        assert memory > alu
+
+    def test_full_method_costs_more_than_analytic(self, plans):
+        plan = plans("ADD", "SUB")
+        assert estimate_cell_cost(plan, 10, "full") > estimate_cell_cost(
+            plan, 10, "analytic"
+        )
+
+    def test_cost_grows_with_repetitions(self, plans):
+        plan = plans("ADD", "SUB")
+        assert estimate_cell_cost(plan, 10, "full") > estimate_cell_cost(
+            plan, 2, "full"
+        )
+
+    def _pending(self, plans, names):
+        cells = []
+        for i, a in enumerate(names):
+            for j, b in enumerate(names):
+                cells.append(
+                    _PendingCell(
+                        i=i,
+                        j=j,
+                        event_a=get_event(a),
+                        event_b=get_event(b),
+                        seed_sequence=np.random.SeedSequence(0),
+                        plan=plans(a, b),
+                    )
+                )
+        return cells
+
+    def test_prior_puts_memory_rows_first(self, plans):
+        names = ("ADD", "LDM")
+        pending = self._pending(plans, names)
+        ordered = _order_by_cost(pending, names, REPETITIONS, "analytic", {})
+        # The LDM/LDM cell has the largest priming footprint.
+        assert ordered[0].index == (1, 1)
+        # Pure-ALU ADD/ADD drains last.
+        assert ordered[-1].index == (0, 0)
+
+    def test_recorded_history_overrides_the_prior(self, plans):
+        names = ("ADD", "LDM")
+        pending = self._pending(plans, names)
+        history = {
+            "ADD/ADD": 100.0,
+            "ADD/LDM": 1.0,
+            "LDM/ADD": 1.0,
+            "LDM/LDM": 1.0,
+        }
+        ordered = _order_by_cost(pending, names, REPETITIONS, "analytic", history)
+        assert ordered[0].index == (0, 0)
+
+    def test_equal_costs_keep_row_major_order(self, plans):
+        names = ("ADD", "LDM")
+        pending = self._pending(plans, names)
+        history = {f"{a}/{b}": 1.0 for a in names for b in names}
+        ordered = _order_by_cost(pending, names, REPETITIONS, "analytic", history)
+        assert [cell.index for cell in ordered] == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+
+
+# ----------------------------------------------------------------------
+# WorkerPool.drain (shutdown ordering for shared state)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestWorkerPoolDrain:
+    def test_drain_with_no_outstanding_tasks(self):
+        with WorkerPool(2) as pool:
+            assert pool.drain() is True
+
+    def test_drain_waits_for_outstanding_tasks(self):
+        with WorkerPool(2) as pool:
+            future = pool.submit(_sleep, 0.5)
+            assert pool.drain(timeout=0.05) is False
+            assert pool.drain() is True
+            assert future.done()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: no /dev/shm leaks on any exit path
+# ----------------------------------------------------------------------
+@needs_shm
+@pytest.mark.slow
+class TestNoSegmentLeaks:
+    def test_successful_pooled_campaign(self, core2duo_10cm):
+        _run(core2duo_10cm, workers=2, shm=True)
+        assert _savat_segments() == []
+
+    def test_fatal_cell_execution_error(self, core2duo_10cm):
+        plan = FaultPlan.from_spec("raise@0,0x9")
+        with pytest.raises(CellExecutionError):
+            _run(
+                core2duo_10cm,
+                workers=2,
+                max_retries=0,
+                fault_plan=plan,
+                shm=True,
+            )
+        assert _savat_segments() == []
+
+    def test_timeout_and_retry_path(self, core2duo_10cm):
+        plan = FaultPlan.from_spec("hang@0,1:1.5")
+        _run(
+            core2duo_10cm,
+            workers=2,
+            cell_timeout_s=0.4,
+            max_retries=2,
+            fault_plan=plan,
+            shm=True,
+        )
+        assert _savat_segments() == []
+
+    def test_study_failing_mid_grid_still_unlinks(self, tmp_path):
+        # The second grid entry fails to load; the pool must drain and
+        # the study-owned trace segments must be swept regardless.
+        with pytest.raises(ConfigurationError):
+            run_study(
+                ["core2duo", "no-such-machine"],
+                [0.10],
+                events=EVENTS,
+                config=FAST_CONFIG,
+                repetitions=REPETITIONS,
+                seed=SEED,
+                workers=2,
+                cache_dir=tmp_path,
+                shm=True,
+            )
+        assert _savat_segments() == []
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: transport and scheduling never change samples
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.timeout(600)
+class TestBitIdentityProperty:
+    @pytest.fixture(scope="class")
+    def reference(self, core2duo_10cm):
+        """The serial, shm-off, row-major run everything must match."""
+        return _run(core2duo_10cm, shm=False)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        use_shm=st.booleans(),
+        schedule=st.sampled_from(("rowmajor", "cost")),
+        workers=st.sampled_from((0, 2)),
+    )
+    def test_samples_are_invariant(
+        self, core2duo_10cm, reference, use_shm, schedule, workers
+    ):
+        matrix = _run(
+            core2duo_10cm,
+            workers=workers,
+            shm=use_shm,
+            schedule=schedule,
+        )
+        assert np.array_equal(matrix.samples_zj, reference.samples_zj)
+        assert _savat_segments() == []
+
+    def test_combined_fault_plan_with_shm_and_cost_schedule(
+        self, core2duo_10cm, reference, tmp_path
+    ):
+        plan = FaultPlan.from_spec("raise@0,0;hang@0,1:1.5;corrupt@1,0")
+        matrix = _run(
+            core2duo_10cm,
+            cache_dir=tmp_path,
+            workers=2,
+            cell_timeout_s=0.4,
+            max_retries=2,
+            fault_plan=plan,
+            shm=True,
+            schedule="cost",
+        )
+        execution = matrix.metadata["execution"]
+        assert np.array_equal(matrix.samples_zj, reference.samples_zj)
+        assert execution["faults_injected"] == {
+            "raise": 1, "hang": 1, "corrupt": 1,
+        }
+        assert _savat_segments() == []

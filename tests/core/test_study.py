@@ -146,6 +146,7 @@ class TestStudyResultCache:
         study = _study(trace_cache=False)
         assert study.trace_cache == {
             "memory_hits": 0,
+            "shm_hits": 0,
             "disk_hits": 0,
             "misses": 0,
             "stores": 0,
